@@ -1,0 +1,26 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper table/figure via the experiment
+registry, prints the rows (run pytest with ``-s`` to see them inline;
+they are also summarized in EXPERIMENTS.md), and asserts the *shape*
+the paper reports — who wins, roughly by how much, where crossovers
+fall.  Absolute values are not compared: the inputs are synthetic and
+the default scale is reduced (set ``REPRO_FULL_SCALE=1`` for paper
+scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.from_env()
+
+
+def show(result) -> None:
+    print()
+    print(result.render())

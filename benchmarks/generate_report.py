@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Regenerate every paper table/figure and dump the rows to stdout.
+
+Used to produce the measured numbers recorded in EXPERIMENTS.md:
+
+    python benchmarks/generate_report.py > report.txt
+    python benchmarks/generate_report.py --json results/   # also archive JSON
+    REPRO_FULL_SCALE=1 python benchmarks/generate_report.py   # paper scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.evaluation import ExperimentScale, experiments, save_result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also archive each result as JSON under DIR",
+    )
+    args = parser.parse_args()
+    json_dir = Path(args.json) if args.json else None
+    if json_dir:
+        json_dir.mkdir(parents=True, exist_ok=True)
+    scale = ExperimentScale.from_env()
+    print(f"scale: full={scale.full} tier2={scale.n_tier2} tier1={scale.n_tier1} "
+          f"T_wiki={scale.horizon_wiki} T_wc={scale.horizon_worldcup}")
+
+    jobs = [
+        ("table1", lambda: experiments.table1_electricity()),
+        ("table2", lambda: experiments.table2_bandwidth()),
+        ("fig4", lambda: experiments.fig4_workloads(scale)),
+        ("fig5/wikipedia", lambda: experiments.fig5_cost_no_prediction(scale, "wikipedia")),
+        ("fig5/worldcup", lambda: experiments.fig5_cost_no_prediction(scale, "worldcup")),
+        ("fig6/wikipedia", lambda: experiments.fig6_ratio_vs_epsilon(scale, "wikipedia")),
+        ("fig6/worldcup", lambda: experiments.fig6_ratio_vs_epsilon(scale, "worldcup")),
+        ("fig7", lambda: experiments.fig7_sla(scale, lcp_lookback=12)),
+        ("fig8", lambda: experiments.fig8_prediction_window(
+            scale, windows=(2, 4, 6, 8, 10) if scale.full else (2, 4, 6))),
+        ("fig9", lambda: experiments.fig9_noisy_prediction(
+            scale, windows=(2, 4, 6, 8, 10) if scale.full else (2, 4, 6))),
+        ("fig10", lambda: experiments.fig10_error_sweep(scale)),
+        ("thm2-3", lambda: experiments.theorem23_adversarial()),
+    ]
+    for name, job in jobs:
+        start = time.perf_counter()
+        result = job()
+        elapsed = time.perf_counter() - start
+        print()
+        print(result.render())
+        print(f"[{name}: {elapsed:.1f}s]")
+        if json_dir:
+            save_result(result, json_dir / (name.replace("/", "_") + ".json"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Ablation: design choices of the regularized subproblem.
+
+DESIGN.md calls out two optional ingredients of P2(t):
+
+* *hedging* — the overflow-covering constraints (3d)/(3e) from the
+  competitive proof;
+* *capacity caps* — explicit ``X <= C``, ``y <= B`` bounds (Lemma 1
+  makes them redundant at the optimum but they guard numerics).
+
+This bench quantifies their cost/runtime impact on a full online run.
+"""
+
+import pytest
+
+from repro.core import OnlineConfig, RegularizedOnline
+from repro.evaluation import ExperimentScale
+from repro.evaluation.experiments import make_instance
+from repro.model import check_trajectory, evaluate_cost
+from repro.offline import solve_offline
+
+
+@pytest.fixture(scope="module")
+def instance():
+    scale = ExperimentScale.from_env()
+    horizon = 48 if not scale.full else scale.horizon_wiki
+    inst = make_instance(scale, "wikipedia", k=2, recon_weight=1e3)
+    return inst.slice(0, min(horizon, inst.horizon))
+
+
+def _run(inst, hedging, caps):
+    cfg = OnlineConfig(epsilon=1e-2, hedging=hedging, capacity_caps=caps)
+    traj = RegularizedOnline(cfg).run(inst)
+    assert check_trajectory(inst, traj).ok
+    return evaluate_cost(inst, traj).total
+
+
+def test_full_algorithm(benchmark, instance):
+    benchmark.pedantic(lambda: _run(instance, True, True), rounds=1, iterations=1)
+
+
+def test_no_hedging(benchmark, instance):
+    benchmark.pedantic(lambda: _run(instance, False, True), rounds=1, iterations=1)
+
+
+def test_no_caps(benchmark, instance):
+    benchmark.pedantic(lambda: _run(instance, True, False), rounds=1, iterations=1)
+
+
+def test_ablation_costs_comparable(instance):
+    """Neither ingredient changes feasibility; costs stay in a band.
+
+    Hedging can only add cost (extra covering constraints); removing
+    the caps must not change the optimum (Lemma 1).
+    """
+    full = _run(instance, True, True)
+    no_hedge = _run(instance, False, True)
+    no_caps = _run(instance, True, False)
+    off = solve_offline(instance).objective
+    print(
+        f"\n== ablation/regularizer ==\noffline={off:.2f} full={full:.2f} "
+        f"no_hedging={no_hedge:.2f} no_caps={no_caps:.2f}"
+    )
+    assert no_hedge <= full + 1e-6
+    assert no_caps == pytest.approx(full, rel=1e-3)
+    assert off <= min(full, no_hedge, no_caps) + 1e-6

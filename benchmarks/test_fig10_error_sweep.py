@@ -1,0 +1,41 @@
+"""Fig 10: predictive control vs prediction error rate (short window).
+
+Expected shape (paper): RFHC/RRHC grow only mildly with the error rate
+while FHC/RHC degrade markedly; at short windows and large errors the
+regularized predictive controllers can even fall behind the
+prediction-free online algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import experiments
+
+from conftest import show
+
+
+def test_fig10(benchmark, scale):
+    errors = (0.0, 0.05, 0.10, 0.15)
+    result = benchmark.pedantic(
+        experiments.fig10_error_sweep,
+        args=(scale,),
+        kwargs={"errors": errors, "window": 2},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    fhc = np.array(result.column("fhc"))
+    rfhc = np.array(result.column("rfhc"))
+    rrhc = np.array(result.column("rrhc"))
+    rhc = np.array(result.column("rhc"))
+    online = np.array(result.column("online_no_pred"))
+    # At every error rate the regularized controllers win.
+    assert np.all(rfhc <= fhc + 1e-6)
+    assert np.all(rrhc <= rhc + 1e-6)
+    # Noise hurts the standard controllers.
+    assert fhc[-1] > fhc[0]
+    # The paper's Fig-10 observation: at a short window with noisy
+    # forecasts, RFHC/RRHC can end up worse than the prediction-free
+    # online algorithm (with exact forecasts they are never worse).
+    assert rfhc[0] <= online[0] * (1 + 1e-6)
+    assert rfhc[-1] >= rfhc[0]

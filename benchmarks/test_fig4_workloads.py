@@ -1,0 +1,19 @@
+"""Fig 4: the two workload regimes (regular vs bursty)."""
+
+from repro.evaluation import experiments
+
+from conftest import show
+
+
+def test_fig4_workloads(benchmark, scale):
+    result = benchmark.pedantic(
+        experiments.fig4_workloads, args=(scale,), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {r[0]: r for r in result.rows}
+    wiki, wc = rows["wikipedia"], rows["worldcup"]
+    # Fig 4a: regular dynamics — modest peak-to-mean.
+    assert wiki[3] < 3.0
+    # Fig 4b: large spikes — burstiness far above the wikipedia regime.
+    assert wc[3] > 2.0 * wiki[3]
+    assert wc[4] > wiki[4]

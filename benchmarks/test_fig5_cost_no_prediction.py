@@ -1,0 +1,50 @@
+"""Fig 5: total cost over time without prediction.
+
+Greedy one-shot vs the regularized online algorithm vs the offline
+optimum, for reconfiguration price weights 10..10^4, on both workload
+regimes.  Expected shape (paper): greedy tracks the offline optimum
+for cheap reconfiguration but diverges as it gets expensive (up to
+~9x), while the online algorithm stays within a small factor (<= ~3x)
+everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import experiments
+
+from conftest import show
+
+RECON_WEIGHTS = (10.0, 1e2, 1e3, 1e4)
+
+
+@pytest.mark.parametrize("workload", ["wikipedia", "worldcup"])
+def test_fig5(benchmark, scale, workload):
+    result = benchmark.pedantic(
+        experiments.fig5_cost_no_prediction,
+        args=(scale, workload),
+        kwargs={"recon_weights": RECON_WEIGHTS},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    one_shot = np.array(result.column("one_shot/offline"))
+    online = np.array(result.column("online/offline"))
+
+    # Everything is lower-bounded by the offline optimum.
+    assert np.all(one_shot >= 1.0 - 1e-9)
+    assert np.all(online >= 1.0 - 1e-9)
+
+    # Cheap reconfiguration: greedy is near-optimal (within ~10%).
+    assert one_shot[0] < 1.1
+
+    # Expensive reconfiguration: greedy diverges, online does not.
+    assert one_shot[-1] > online[-1]
+    assert one_shot.max() > 1.5 * online.max() or one_shot.max() > 2.0
+
+    # The paper's envelope: online within ~3x of offline throughout.
+    assert online.max() < 3.0
+
+    # Cumulative cost curves are monotone (Fig 5's y-axis).
+    for key, series in result.series.items():
+        assert np.all(np.diff(series) >= -1e-9), key

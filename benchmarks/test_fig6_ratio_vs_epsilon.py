@@ -1,0 +1,42 @@
+"""Fig 6: actual competitive ratio vs the parameter epsilon.
+
+Expected shape (paper): the realized ratio stays below ~3 for every
+epsilon and reconfiguration price, is non-monotone in epsilon (there
+is a valley: the best epsilon is interior), and the Theorem-1
+worst-case bound decreases monotonically in epsilon while dominating
+the realized ratio everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import experiments
+
+from conftest import show
+
+EPSILONS = (1e-3, 1e-2, 1e-1, 1.0, 10.0, 1e2, 1e3)
+
+
+@pytest.mark.parametrize("workload", ["wikipedia", "worldcup"])
+def test_fig6(benchmark, scale, workload):
+    recon_weights = (1e2, 1e3, 1e4) if scale.full else (1e2, 1e3)
+    result = benchmark.pedantic(
+        experiments.fig6_ratio_vs_epsilon,
+        args=(scale, workload),
+        kwargs={"epsilons": EPSILONS, "recon_weights": recon_weights},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    rows = result.rows
+    for b in recon_weights:
+        sub = [r for r in rows if r[1] == b]
+        actual = np.array([r[3] for r in sub])
+        bound = np.array([r[4] for r in sub])
+        # Realized ratio within the paper's empirical envelope and
+        # always below the worst-case guarantee.
+        assert np.all(actual >= 1.0 - 1e-9)
+        assert np.all(actual <= 3.0)
+        assert np.all(actual <= bound + 1e-9)
+        # Theorem-1 bound decreases monotonically in epsilon.
+        assert np.all(np.diff(bound) < 0)

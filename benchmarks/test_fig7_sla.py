@@ -1,0 +1,38 @@
+"""Fig 7: effect of the SLA size k (number of usable tier-2 clouds).
+
+Expected shape (paper): as k grows there is more room to optimize and
+the online algorithm's cost approaches the offline optimum; LCP-M does
+not track the offline optimum as well as the regularized online
+algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import experiments
+
+from conftest import show
+
+
+def test_fig7(benchmark, scale):
+    ks = (1, 2, 3, 4)
+    lookback = 24 if scale.full else 12
+    result = benchmark.pedantic(
+        experiments.fig7_sla,
+        args=(scale,),
+        kwargs={"ks": ks, "lcp_lookback": lookback},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    online = np.array(result.column("online/offline"))
+    lcpm = np.array(result.column("lcpm/offline"))
+    one_shot = np.array(result.column("one_shot/offline"))
+
+    assert np.all(online >= 1.0 - 1e-9)
+    # Online approaches the offline optimum as the SLA widens.
+    assert online[-1] <= online[0] + 1e-6
+    # LCP-M trails the regularized online algorithm on average.
+    assert lcpm.mean() >= online.mean()
+    # And the online algorithm beats greedy one-shot on average.
+    assert online.mean() <= one_shot.mean() + 1e-9

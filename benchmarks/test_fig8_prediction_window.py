@@ -1,0 +1,35 @@
+"""Fig 8: predictive control vs prediction window (accurate forecasts).
+
+Expected shape (paper): with exact predictions RFHC and RRHC are never
+worse than the prediction-free online algorithm (Theorem 4) and
+improve with the window; FHC and RHC can stay above the online
+algorithm whenever workload ramp-downs exceed the window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import experiments
+
+from conftest import show
+
+
+def test_fig8(benchmark, scale):
+    windows = (2, 4, 6, 8, 10) if scale.full else (2, 4, 6)
+    result = benchmark.pedantic(
+        experiments.fig8_prediction_window,
+        args=(scale,),
+        kwargs={"windows": windows},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    online = result.rows[0][5]
+    for row in result.rows:
+        w, fhc, rhc, rfhc, rrhc, _ = row
+        # Theorem 4: regularized controllers inherit the online bound.
+        assert rfhc <= online * (1 + 1e-6), f"w={w}"
+        assert rrhc <= online * (1 + 1e-6), f"w={w}"
+        # And they dominate their standard counterparts.
+        assert rfhc <= fhc + 1e-6, f"w={w}"
+        assert rrhc <= rhc + 1e-6, f"w={w}"

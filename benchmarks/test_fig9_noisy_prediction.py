@@ -1,0 +1,32 @@
+"""Fig 9: predictive control vs window under 15% prediction error.
+
+Expected shape (paper): all controllers degrade relative to Fig 8, but
+RFHC/RRHC remain much better than FHC/RHC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import experiments
+
+from conftest import show
+
+
+def test_fig9(benchmark, scale):
+    windows = (2, 4, 6, 8, 10) if scale.full else (2, 4, 6)
+    result = benchmark.pedantic(
+        experiments.fig9_noisy_prediction,
+        args=(scale,),
+        kwargs={"windows": windows, "error": 0.15},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    fhc = np.array(result.column("fhc"))
+    rhc = np.array(result.column("rhc"))
+    rfhc = np.array(result.column("rfhc"))
+    rrhc = np.array(result.column("rrhc"))
+    # Regularized controllers keep their advantage under noise.
+    assert rfhc.mean() < fhc.mean()
+    assert rrhc.mean() < rhc.mean()
+    assert np.all(rfhc >= 1.0 - 1e-9)

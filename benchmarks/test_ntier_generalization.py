@@ -1,0 +1,76 @@
+"""Section III-E: the N-tier generalization on a 3-tier instance.
+
+Expected shape: the same ordering as the two-tier results — offline <=
+regularized online <= greedy — carries over to three tiers, and the
+reconstructed N-tier competitive bound dominates the realized ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.competitive import ntier_ratio
+from repro.model import Cloud
+from repro.ntier import (
+    LayeredNetwork,
+    LayerLink,
+    NTierConfig,
+    NTierGreedy,
+    NTierInstance,
+    NTierRegularizedOnline,
+    solve_ntier_offline,
+)
+
+EPS = 1e-2
+
+
+def build_three_tier(T: int):
+    rng = np.random.default_rng(17)
+    edge = [Cloud(f"e{j}", np.inf) for j in range(6)]
+    mid = [Cloud(f"m{u}", 8.0, 60.0) for u in range(4)]
+    top = [Cloud(f"t{u}", 12.0, 90.0) for u in range(3)]
+    links = []
+    for j in range(6):
+        for u in (j % 4, (j + 1) % 4):
+            links.append(LayerLink(1, j, u, 6.0, 40.0))
+    for u in range(4):
+        for v in (u % 3, (u + 1) % 3):
+            links.append(LayerLink(2, u, v, 8.0, 40.0))
+    net = LayeredNetwork([edge, mid, top], links)
+    vee = np.concatenate(
+        [np.linspace(1.8, 0.1, T // 2), np.linspace(0.1, 1.8, T - T // 2 + 1)[1:]]
+    )
+    lam = vee[:, None] * (1 + 0.1 * rng.random((T, 6)))
+    node_price = 0.05 * (1 + 0.3 * rng.random((T, net.n_upper_nodes)))
+    link_price = 0.02 * np.ones((T, net.n_links))
+    return NTierInstance(net, lam, node_price, link_price)
+
+
+def test_ntier_three_tier(benchmark):
+    inst = build_three_tier(T=24)
+
+    def run():
+        online = NTierRegularizedOnline(NTierConfig(epsilon=EPS)).run(inst)
+        greedy = NTierGreedy().run(inst)
+        off = solve_ntier_offline(inst)
+        return online, greedy, off
+
+    online, greedy, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    c_on, c_gr = inst.cost(online), inst.cost(greedy)
+    print(
+        f"\n== ntier/3-tier ==\noffline={off.objective:.2f} "
+        f"online={c_on:.2f} ({c_on / off.objective:.3f}x) "
+        f"greedy={c_gr:.2f} ({c_gr / off.objective:.3f}x)"
+    )
+    assert inst.check_feasible(online)
+    assert off.objective <= c_on + 1e-6
+    # The V-shaped workload with expensive reconfiguration is exactly
+    # where smoothing wins: online beats greedy.
+    assert c_on < c_gr
+    # The reconstructed N-tier bound dominates the realized ratio.
+    net = inst.network
+    bound = ntier_ratio(
+        [net.node_capacity[:4], net.node_capacity[4:]],
+        [net.link_capacity[:12], net.link_capacity[12:]],
+        EPS,
+    )
+    assert c_on / off.objective <= bound

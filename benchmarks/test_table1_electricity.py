@@ -1,0 +1,19 @@
+"""Table I: electricity price statistics per RTO market."""
+
+import pytest
+
+from repro.evaluation import experiments
+
+from conftest import show
+
+
+def test_table1_electricity(benchmark):
+    result = benchmark.pedantic(
+        experiments.table1_electricity, kwargs={"horizon": 3000}, rounds=1, iterations=1
+    )
+    show(result)
+    # Synthesized sample moments track the table (truncation at zero
+    # biases the highest-variance markets slightly upward).
+    for market, mean_p, sd_p, mean_s, sd_s in result.rows:
+        assert mean_s == pytest.approx(mean_p, rel=0.10), market
+        assert sd_s == pytest.approx(sd_p, rel=0.15), market

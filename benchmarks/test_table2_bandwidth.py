@@ -1,0 +1,19 @@
+"""Table II: tiered bandwidth pricing."""
+
+import pytest
+
+from repro.evaluation import experiments
+from repro.pricing import bandwidth_price
+
+from conftest import show
+
+
+def test_table2_bandwidth(benchmark):
+    result = benchmark.pedantic(experiments.table2_bandwidth, rounds=1, iterations=1)
+    show(result)
+    prices = result.column("price_per_gb")
+    # Paper's schedule verbatim, non-increasing with capacity.
+    assert prices[:4] == [0.090, 0.085, 0.070, 0.050]
+    assert all(a >= b for a, b in zip(prices, prices[1:]))
+    # Spot values used by the topology builder.
+    assert bandwidth_price(200.0) == pytest.approx(0.050)

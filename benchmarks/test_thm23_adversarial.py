@@ -1,0 +1,38 @@
+"""Theorems 2-3: myopic control blows up on V-shaped workloads.
+
+Expected shape: the greedy/FHC/RHC cost ratios over the offline
+optimum grow with the reconfiguration price (unbounded in the limit on
+repeated valleys), while the regularized online algorithm's ratio
+stays bounded and eventually *decreases* (it learns to hold the peak).
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import experiments
+
+from conftest import show
+
+
+def test_theorems_2_and_3(benchmark):
+    result = benchmark.pedantic(
+        experiments.theorem23_adversarial,
+        kwargs={"recon_prices": (1.0, 10.0, 1e2, 1e3), "window": 3, "n_valleys": 4},
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    greedy = np.array(result.column("greedy/opt"))
+    fhc = np.array(result.column("fhc/opt"))
+    rhc = np.array(result.column("rhc/opt"))
+    online = np.array(result.column("online/opt"))
+
+    # Myopic ratios grow monotonically with the reconfiguration price.
+    assert np.all(np.diff(greedy) > 0)
+    assert np.all(np.diff(fhc) > 0)
+    assert np.all(np.diff(rhc) > 0)
+    # Repeated valleys: the divergence is substantial.
+    assert greedy[-1] > 3.0
+    # The regularized online algorithm stays bounded and wins clearly.
+    assert online[-1] < 2.0
+    assert online[-1] < greedy[-1] / 2.0

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Spatio-temporal electricity arbitrage under reconfiguration costs.
+
+Data centers' dominant operating expense is energy, and wholesale
+prices differ across regional markets hour by hour (Table I).  A
+*reconfiguration-oblivious* policy — the first category of related
+work the paper criticizes — simply serves all demand from whichever
+market is cheapest this hour.  That is optimal when switching is free
+and disastrous when it is not.  The regularized online algorithm never
+sees future prices either, yet adapts its churn to the switching
+price: it chases when chasing is cheap and holds when it is not.
+
+Run:  python examples/electricity_arbitrage.py
+"""
+
+import numpy as np
+
+from repro import (
+    Cloud,
+    CloudNetwork,
+    Instance,
+    OnlineConfig,
+    RegularizedOnline,
+    SLAEdge,
+    Trajectory,
+    evaluate_cost,
+    solve_offline,
+)
+from repro.evaluation import format_table
+from repro.pricing import ElectricityPriceModel
+
+T = 96  # four days, hourly
+DEMAND = 1.5  # steady per-edge demand: all dynamics come from prices
+
+elec = ElectricityPriceModel()
+by_name = {m.name: m for m in elec.markets}
+locations = [by_name["CAISO"].location, by_name["PJM"].location]
+prices = elec.series(locations, T, seed=20)
+
+
+def build_instance(recon_weight: float) -> Instance:
+    tier2 = [
+        Cloud("west-caiso", 8.0, recon_weight * prices[:, 0].mean(), locations[0]),
+        Cloud("east-pjm", 8.0, recon_weight * prices[:, 1].mean(), locations[1]),
+    ]
+    tier1 = [Cloud(f"edge-{j}", np.inf) for j in range(3)]
+    edges = [SLAEdge(i, j, 6.0, 0.0) for j in range(3) for i in (0, 1)]
+    net = CloudNetwork(tier2, tier1, edges)
+    lam = np.full((T, 3), DEMAND)
+    return Instance(net, lam, prices, np.zeros((T, len(edges))))
+
+
+def price_chaser(inst: Instance) -> Trajectory:
+    """Reconfiguration-oblivious: everything on this hour's cheapest market."""
+    net = inst.network
+    cheapest = np.argmin(inst.tier2_price, axis=1)  # (T,)
+    s = np.zeros((T, net.n_edges))
+    on_cheapest = net.edge_i[None, :] == cheapest[:, None]
+    s[on_cheapest] = DEMAND
+    return Trajectory(s.copy(), s.copy(), s.copy())
+
+
+def churn(traj: Trajectory, net) -> float:
+    X = traj.tier2_totals(net)
+    return float(np.abs(np.diff(X, axis=0)).sum())
+
+
+def main() -> None:
+    rows = []
+    for weight in (0.1, 1.0, 10.0, 100.0):
+        inst = build_instance(weight)
+        net = inst.network
+        off = solve_offline(inst)
+        chaser = price_chaser(inst)
+        online = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+        rows.append(
+            (
+                f"{weight:g}",
+                evaluate_cost(inst, chaser).total / off.objective,
+                evaluate_cost(inst, online).total / off.objective,
+                churn(chaser, net),
+                churn(online, net),
+            )
+        )
+    print("steady demand; all dynamics from hourly market prices\n")
+    print(
+        format_table(
+            [
+                "recon weight",
+                "chaser / offline",
+                "online / offline",
+                "chaser churn",
+                "online churn",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("The price-chaser's churn is constant — it ignores switching")
+    print("costs entirely, so its ratio blows up as they grow.  The")
+    print("regularized online algorithm throttles its own churn as the")
+    print("reconfiguration weight rises and stays near the offline optimum")
+    print("at both extremes, without ever seeing a future price.")
+
+
+if __name__ == "__main__":
+    main()

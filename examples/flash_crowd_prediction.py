@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Flash crowds and imperfect forecasts: RFHC/RRHC vs FHC/RHC.
+
+A WorldCup-98-like bursty workload is served under predictive control
+with a short prediction window and increasingly noisy forecasts.  The
+standard controllers (FHC/RHC) chase every forecast; the regularized
+controllers (RFHC/RRHC) pin their window endpoints to the regularized
+chain and inherit the prediction-free algorithm's worst-case
+guarantee — so forecast noise barely moves them (a miniature of
+Figs. 9-10).
+
+Run:  python examples/flash_crowd_prediction.py
+"""
+
+from repro import (
+    GaussianNoisePredictor,
+    FixedHorizonControl,
+    OnlineConfig,
+    PaperTopologyBuilder,
+    RecedingHorizonControl,
+    RegularizedFixedHorizonControl,
+    RegularizedOnline,
+    RegularizedRecedingHorizonControl,
+    WorldCupLikeWorkload,
+    evaluate_cost,
+    solve_offline,
+)
+from repro.evaluation import format_table
+
+WINDOW = 3
+EPSILON = 1e-3
+
+
+def controller_suite(error: float, seed: int = 11):
+    def predictor():
+        # A fresh predictor per controller keeps forecasts identical
+        # across controllers (same seed) but independent across runs.
+        return GaussianNoisePredictor(error, seed=seed) if error > 0 else None
+
+    return {
+        "FHC": FixedHorizonControl(WINDOW, predictor=predictor()),
+        "RHC": RecedingHorizonControl(WINDOW, predictor=predictor()),
+        "RFHC": RegularizedFixedHorizonControl(
+            WINDOW, OnlineConfig(epsilon=EPSILON), predictor=predictor()
+        ),
+        "RRHC": RegularizedRecedingHorizonControl(
+            WINDOW, OnlineConfig(epsilon=EPSILON), predictor=predictor()
+        ),
+    }
+
+
+def main() -> None:
+    trace = WorldCupLikeWorkload(horizon=96).generate()
+    instance = PaperTopologyBuilder(
+        k=2, recon_weight=1e3, n_tier2=5, n_tier1=8
+    ).build(trace)
+
+    offline = solve_offline(instance).objective
+    online = evaluate_cost(
+        instance, RegularizedOnline(OnlineConfig(epsilon=EPSILON)).run(instance)
+    ).total
+
+    rows = []
+    for error in (0.0, 0.05, 0.10, 0.15):
+        costs = {
+            name: evaluate_cost(instance, ctrl.run(instance)).total / offline
+            for name, ctrl in controller_suite(error).items()
+        }
+        rows.append(
+            (
+                f"{error:.0%}",
+                costs["FHC"],
+                costs["RHC"],
+                costs["RFHC"],
+                costs["RRHC"],
+                online / offline,
+            )
+        )
+
+    print(f"bursty workload: 96 h, peak/mean = {trace.max() / trace.mean():.1f}")
+    print(f"prediction window = {WINDOW} slots; all costs normalized by offline\n")
+    print(
+        format_table(
+            ["forecast error", "FHC", "RHC", "RFHC", "RRHC", "online (no pred.)"],
+            rows,
+        )
+    )
+    print()
+    print("Shape to observe: RFHC/RRHC stay at or below the prediction-free")
+    print("online line with accurate forecasts and degrade only mildly with")
+    print("noise, while FHC/RHC pay for every mis-forecast ramp.")
+
+
+if __name__ == "__main__":
+    main()

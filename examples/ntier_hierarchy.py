@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Three-tier hierarchy: metro edge -> regional -> core (Section III-E).
+
+Builds a 3-tier layered network in which workloads enter at metro edge
+clouds, traverse a regional aggregation tier and are served at core
+clouds.  Every regional/core node and every inter-tier link carries
+allocation and reconfiguration costs; the N-tier regularized online
+algorithm smooths all of them jointly.
+
+Run:  python examples/ntier_hierarchy.py
+"""
+
+import numpy as np
+
+from repro.core.competitive import ntier_ratio
+from repro.model import Cloud
+from repro.ntier import (
+    LayeredNetwork,
+    LayerLink,
+    NTierConfig,
+    NTierGreedy,
+    NTierInstance,
+    NTierRegularizedOnline,
+    solve_ntier_offline,
+)
+
+# ---------------------------------------------------------------------------
+# Topology: 6 metro edges, 4 regional clouds, 2 core clouds.
+# ---------------------------------------------------------------------------
+metros = [Cloud(f"metro-{j}", capacity=np.inf) for j in range(6)]
+regional = [Cloud(f"regional-{u}", capacity=9.0, recon_price=50.0) for u in range(4)]
+core = [Cloud(f"core-{u}", capacity=15.0, recon_price=80.0) for u in range(2)]
+
+links = []
+for j in range(6):  # each metro reaches 2 regional clouds
+    for u in (j % 4, (j + 1) % 4):
+        links.append(LayerLink(stage=1, lower=j, upper=u, capacity=7.0, recon_price=30.0))
+for u in range(4):  # each regional cloud reaches both cores
+    for v in range(2):
+        links.append(LayerLink(stage=2, lower=u, upper=v, capacity=9.0, recon_price=30.0))
+
+network = LayeredNetwork([metros, regional, core], links)
+print(f"topology: {network}")
+
+# ---------------------------------------------------------------------------
+# Inputs: two days of demand with an overnight trough (the regime where
+# smoothing matters) and heterogeneous node prices.
+# ---------------------------------------------------------------------------
+T = 48
+rng = np.random.default_rng(3)
+hours = np.arange(T)
+shape = 1.0 + 0.9 * np.cos(2 * np.pi * (hours - 15) / 24)
+workload = np.clip(shape[:, None] * (1 + 0.15 * rng.random((T, 6))), 0.05, None)
+node_price = 0.06 * (1.0 + 0.4 * rng.random((T, network.n_upper_nodes)))
+link_price = np.full((T, network.n_links), 0.02)
+instance = NTierInstance(network, workload, node_price, link_price)
+
+# ---------------------------------------------------------------------------
+# Controllers.
+# ---------------------------------------------------------------------------
+online = NTierRegularizedOnline(NTierConfig(epsilon=1e-2)).run(instance)
+greedy = NTierGreedy().run(instance)
+offline = solve_ntier_offline(instance)
+
+assert instance.check_feasible(online)
+c_on, c_gr = instance.cost(online), instance.cost(greedy)
+
+bound = ntier_ratio(
+    [np.array([c.capacity for c in regional]), np.array([c.capacity for c in core])],
+    [network.link_capacity[:12], network.link_capacity[12:]],
+    epsilon=1e-2,
+)
+
+print(f"paths enumerated        : {network.n_paths}")
+print(f"offline optimum         : {offline.objective:9.2f}")
+print(f"3-tier regularized online: {c_on:8.2f}  ({c_on / offline.objective:.3f}x)")
+print(f"3-tier greedy one-shot  : {c_gr:9.2f}  ({c_gr / offline.objective:.3f}x)")
+print(f"reconstructed N-tier bound: {bound:.1f}x")
+print()
+print("All reconfiguration terms — regional nodes, core nodes, and both")
+print("link stages — are regularized jointly; the online trajectory decays")
+print("through the overnight trough instead of releasing and re-buying.")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: smoothed online resource allocation in 60 lines.
+
+Builds a small two-tier cloud network, feeds it a diurnal workload,
+and compares three controllers:
+
+* greedy one-shot optimization (ignores reconfiguration),
+* the paper's regularized online algorithm (no prediction),
+* the offline optimum (full hindsight — the lower bound).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Cloud,
+    CloudNetwork,
+    GreedyOneShot,
+    Instance,
+    OnlineConfig,
+    RegularizedOnline,
+    SLAEdge,
+    check_trajectory,
+    evaluate_cost,
+    solve_offline,
+    theorem1_ratio,
+)
+
+# ---------------------------------------------------------------------------
+# 1. Topology: 3 core clouds, 5 edge clouds, each edge cloud may use
+#    its 2 SLA-feasible core clouds.
+# ---------------------------------------------------------------------------
+tier2 = [Cloud(f"core-{i}", capacity=12.0, recon_price=40.0) for i in range(3)]
+tier1 = [Cloud(f"edge-{j}", capacity=np.inf) for j in range(5)]
+edges = [
+    SLAEdge(tier2=(j + m) % 3, tier1=j, capacity=8.0, recon_price=25.0)
+    for j in range(5)
+    for m in range(2)
+]
+network = CloudNetwork(tier2, tier1, edges)
+
+# ---------------------------------------------------------------------------
+# 2. Inputs: 3 days of hourly diurnal demand and mildly volatile prices.
+# ---------------------------------------------------------------------------
+T = 72
+rng = np.random.default_rng(7)
+hours = np.arange(T)
+diurnal = 1.0 + 0.8 * np.cos(2 * np.pi * (hours - 14) / 24)
+workload = np.clip(diurnal[:, None] * (1 + 0.1 * rng.random((T, 5))), 0.05, None)
+tier2_price = 1.0 + 0.3 * rng.random((T, 3))          # e.g. electricity
+link_price = np.full((T, len(edges)), 0.25)           # e.g. bandwidth
+instance = Instance(network, workload, tier2_price, link_price)
+
+# ---------------------------------------------------------------------------
+# 3. Run the three controllers.
+# ---------------------------------------------------------------------------
+online = RegularizedOnline(OnlineConfig(epsilon=1e-2))
+trajectory = online.run(instance)
+assert check_trajectory(instance, trajectory).ok
+
+greedy = GreedyOneShot().run(instance)
+offline = solve_offline(instance)
+
+cost_online = evaluate_cost(instance, trajectory).total
+cost_greedy = evaluate_cost(instance, greedy).total
+cost_offline = offline.objective
+
+print("Smoothed online resource allocation — quickstart")
+print("-" * 52)
+print(f"horizon                 : {T} hours")
+print(f"network                 : {network}")
+print(f"offline optimum         : {cost_offline:10.2f}")
+print(f"regularized online      : {cost_online:10.2f}  "
+      f"({cost_online / cost_offline:.3f}x offline)")
+print(f"greedy one-shot         : {cost_greedy:10.2f}  "
+      f"({cost_greedy / cost_offline:.3f}x offline)")
+print(f"Theorem-1 worst case    : {theorem1_ratio(network, 1e-2):10.2f}x")
+print()
+print("The online algorithm follows demand on the way up and releases")
+print("resources along an exponential-decay curve on the way down —")
+print("hedging against the next demand spike without hindsight.")

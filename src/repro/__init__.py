@@ -1,0 +1,102 @@
+"""repro — Smoothed Online Resource Allocation in Multi-Tier Distributed Cloud Networks.
+
+A from-scratch reproduction of Jiao, Tulino, Llorca, Jin & Sala's
+regularization-based online resource-allocation system:
+
+* :mod:`repro.model` — the two-tier cloud network model (Section II);
+* :mod:`repro.core` — the regularized online algorithm, its
+  closed-form single-resource special case, and competitive-ratio
+  formulas (Section III);
+* :mod:`repro.prediction` — FHC/RHC baselines and the regularized
+  RFHC/RRHC controllers (Section IV);
+* :mod:`repro.offline`, :mod:`repro.baselines` — offline optimum,
+  greedy one-shot and LCP-M comparators;
+* :mod:`repro.workloads`, :mod:`repro.pricing`, :mod:`repro.topology`
+  — the evaluation inputs (Section V);
+* :mod:`repro.ntier` — the N-tier generalization (Section III-E);
+* :mod:`repro.evaluation` — the per-figure experiment registry;
+* :mod:`repro.solvers` — the LP and convex-program substrate.
+
+Quickstart
+----------
+>>> from repro import (build_paper_instance, WikipediaLikeWorkload,
+...                    RegularizedOnline, OnlineConfig)
+>>> trace = WikipediaLikeWorkload(horizon=48).generate()
+>>> instance = build_paper_instance(trace, k=2, n_tier2=4, n_tier1=6)
+>>> trajectory = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(instance)
+"""
+
+from repro.model import (
+    Allocation,
+    Cloud,
+    CloudNetwork,
+    CostBreakdown,
+    Instance,
+    SLAEdge,
+    Trajectory,
+    check_trajectory,
+    evaluate_cost,
+)
+from repro.core import (
+    OnlineConfig,
+    RegularizedOnline,
+    SingleResourceProblem,
+    empirical_ratio,
+    single_greedy,
+    single_offline_optimal,
+    single_online_decay,
+    theorem1_ratio,
+    vee_workload,
+)
+from repro.offline import GreedyOneShot, solve_offline
+from repro.baselines import LCPM
+from repro.prediction import (
+    ExactPredictor,
+    FixedHorizonControl,
+    GaussianNoisePredictor,
+    RecedingHorizonControl,
+    RegularizedFixedHorizonControl,
+    RegularizedRecedingHorizonControl,
+)
+from repro.workloads import WikipediaLikeWorkload, WorldCupLikeWorkload
+from repro.topology import PaperTopologyBuilder, build_paper_instance
+from repro.evaluation import ExperimentScale, run_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cloud",
+    "CloudNetwork",
+    "SLAEdge",
+    "Instance",
+    "Allocation",
+    "Trajectory",
+    "CostBreakdown",
+    "evaluate_cost",
+    "check_trajectory",
+    "RegularizedOnline",
+    "OnlineConfig",
+    "SingleResourceProblem",
+    "single_online_decay",
+    "single_greedy",
+    "single_offline_optimal",
+    "vee_workload",
+    "theorem1_ratio",
+    "empirical_ratio",
+    "GreedyOneShot",
+    "solve_offline",
+    "LCPM",
+    "ExactPredictor",
+    "GaussianNoisePredictor",
+    "FixedHorizonControl",
+    "RecedingHorizonControl",
+    "RegularizedFixedHorizonControl",
+    "RegularizedRecedingHorizonControl",
+    "WikipediaLikeWorkload",
+    "WorldCupLikeWorkload",
+    "PaperTopologyBuilder",
+    "build_paper_instance",
+    "ExperimentScale",
+    "run_suite",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Baseline algorithms from prior work used in the paper's evaluation."""
+
+from repro.baselines.lcp import LCPM
+
+__all__ = ["LCPM"]

@@ -1,0 +1,150 @@
+"""LCP-M: lazy capacity provisioning extended to the multi-cloud problem.
+
+The paper's Section V-A describes the baseline: *"the online algorithm
+that we call LCP-M, which, at every time slot, solves both
+P1(x <= t) and a related problem with the reconfiguration cost
+reversed in time and then applies the lazy capacity principle to every
+variable in our problem, following the design of the LCP(0) algorithm
+[Lin et al.]."*
+
+Concretely, at slot ``t``:
+
+1. solve the prefix problem ``P1`` over slots ``[0, t]`` with the
+   normal (charge-on-increase) reconfiguration cost; its slot-``t``
+   decision is the *lower* envelope ``L_t``;
+2. solve the same prefix with reconfiguration charged on *decreases*
+   (the time-reversed problem); its slot-``t`` decision is the *upper*
+   envelope ``U_t``;
+3. apply the lazy principle per variable:
+   ``v_t = max(L_t, min(U_t, v_{t-1}))``.
+
+Lin et al.'s single-cloud optimality argument does not carry over to
+the multi-cloud case (as the paper notes, LCP "is reported to be
+unable to be generalized to the multi-cloud case with a guaranteed
+competitive ratio"); in particular the per-variable clamp can slightly
+violate coupled capacity constraints, which we repair with a
+minimal-cost projection LP when it happens.
+
+The prefix problems grow linearly with ``t``; a ``lookback`` window
+bounds their size for long horizons (exact LCP-M uses the full
+prefix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.allocation import Allocation, Trajectory
+from repro.model.feasibility import check_trajectory
+from repro.model.instance import Instance
+from repro.offline.optimal import solve_offline
+
+
+class LCPM:
+    """Lazy Capacity Provisioning, multi-resource variant (LCP-M)."""
+
+    name = "lcp-m"
+
+    def __init__(self, lookback: "int | None" = None) -> None:
+        if lookback is not None and lookback < 1:
+            raise ValueError("lookback must be >= 1 or None")
+        self.lookback = lookback
+
+    # ------------------------------------------------------------------
+    def _prefix_window(self, t: int) -> int:
+        if self.lookback is None:
+            return 0
+        return max(0, t + 1 - self.lookback)
+
+    def _tie_broken(self, instance: Instance) -> Instance:
+        """Deterministically perturb prices to stabilize LP routing.
+
+        The per-variable lazy clamp is only meaningful if consecutive
+        prefix solves route each tier-1 cloud's workload through the
+        *same* edges; degenerate LPs otherwise shuffle routes between
+        slots and the clamp accumulates allocations on every route.  A
+        tiny edge-indexed price perturbation makes the optimal routing
+        unique and consistent (decisions are still scored on the true
+        prices by the caller).
+        """
+        net = instance.network
+        scale = float(instance.link_price.mean()) or 1.0
+        bump = 1e-7 * scale * (1.0 + np.arange(net.n_edges))
+        return instance.with_data(link_price=instance.link_price + bump[None, :])
+
+    def run(
+        self,
+        instance: Instance,
+        initial: "Allocation | None" = None,
+    ) -> Trajectory:
+        """Run LCP-M over the whole horizon."""
+        net = instance.network
+        stable = self._tie_broken(instance)
+        prev = initial or Allocation.zeros(net.n_edges)
+        applied_initial = prev.copy()
+        steps: list[Allocation] = []
+        for t in range(instance.horizon):
+            start = self._prefix_window(t)
+            prefix = stable.slice(start, t + 1)
+            # Lower envelope: normal prefix problem.
+            start_state = applied_initial if start == 0 else steps[start - 1]
+            low = solve_offline(prefix, initial=start_state).trajectory.step(t - start)
+            # Upper envelope: reconfiguration charged on decreases.
+            up = solve_offline(
+                prefix, initial=start_state, charge_decrease=True
+            ).trajectory.step(t - start)
+            cur = Allocation(
+                x=_lazy(prev.x, low.x, up.x),
+                y=_lazy(prev.y, low.y, up.y),
+                s=_lazy(prev.s, low.s, up.s),
+            )
+            cur = self._repair(instance, t, cur, prev)
+            steps.append(cur)
+            prev = cur
+        return Trajectory.from_steps(steps)
+
+    # ------------------------------------------------------------------
+    def _repair(
+        self, instance: Instance, t: int, cand: Allocation, prev: Allocation
+    ) -> Allocation:
+        """Project a clamped decision back into slot-``t`` feasibility.
+
+        The per-variable clamp preserves the covering constraints (the
+        lower envelope is feasible) but can break the *coupled* tier-2
+        capacity constraint.  When that happens we solve a small LP
+        minimizing the slot's allocation + reconfiguration cost subject
+        to slot feasibility and ``s >= s_low`` — i.e. the cheapest
+        feasible decision at least as protective as the lazy one.
+        """
+        net = instance.network
+        one_slot = Trajectory(
+            cand.x[None, :], cand.y[None, :], cand.s[None, :]
+        )
+        report = check_trajectory(instance.slice(t, t + 1), one_slot)
+        if report.ok:
+            return cand
+        # Cheapest feasible slot decision with s kept at the clamped level
+        # where possible (capped by link capacity).
+        s_floor = np.minimum(cand.s, net.edge_capacity)
+        lower = Trajectory(
+            np.zeros((1, net.n_edges)), s_floor[None, :], s_floor[None, :]
+        )
+        try:
+            res = solve_offline(
+                instance.slice(t, t + 1), initial=prev, lower=lower
+            )
+            return res.trajectory.step(0)
+        except Exception:
+            # Final fallback: drop the floor entirely.
+            res = solve_offline(instance.slice(t, t + 1), initial=prev)
+            return res.trajectory.step(0)
+
+
+def _lazy(prev: np.ndarray, low: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """Elementwise lazy clamp ``max(low, min(up, prev))``.
+
+    Degenerate envelopes (``up < low`` from LP ties) resolve to the
+    lower envelope, which preserves feasibility.
+    """
+    up = np.maximum(up, low)
+    return np.maximum(low, np.minimum(up, prev))

@@ -1,0 +1,110 @@
+"""Command-line interface: regenerate paper experiments from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig5 --workload worldcup
+    python -m repro run fig6 --full
+    python -m repro run all
+
+Every experiment prints the same rows the corresponding paper figure
+plots (see EXPERIMENTS.md for recorded outputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.evaluation import ExperimentScale, experiments
+
+
+def _registry(scale: ExperimentScale):
+    windows = (2, 4, 6, 8, 10) if scale.full else (2, 4, 6)
+    return {
+        "table1": lambda a: experiments.table1_electricity(),
+        "table2": lambda a: experiments.table2_bandwidth(),
+        "fig4": lambda a: experiments.fig4_workloads(scale),
+        "fig5": lambda a: experiments.fig5_cost_no_prediction(scale, a.workload),
+        "fig6": lambda a: experiments.fig6_ratio_vs_epsilon(scale, a.workload),
+        "fig7": lambda a: experiments.fig7_sla(scale, a.workload, lcp_lookback=12),
+        "fig8": lambda a: experiments.fig8_prediction_window(
+            scale, a.workload, windows=windows
+        ),
+        "fig9": lambda a: experiments.fig9_noisy_prediction(
+            scale, a.workload, windows=windows
+        ),
+        "fig10": lambda a: experiments.fig10_error_sweep(scale, a.workload),
+        "thm23": lambda a: experiments.theorem23_adversarial(),
+        "ntier": lambda a: experiments.ntier_generalization(
+            horizon=48 if scale.full else 24
+        ),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run.add_argument(
+        "--workload",
+        choices=["wikipedia", "worldcup"],
+        default="wikipedia",
+        help="workload regime for the figure experiments",
+    )
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="paper scale (18x48 clouds, 500/600 h) instead of reduced",
+    )
+    run.add_argument(
+        "--plot",
+        action="store_true",
+        help="render the experiment's series as terminal charts",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        scale = ExperimentScale.from_env()
+        for name in _registry(scale):
+            print(name)
+        return 0
+
+    scale = (
+        ExperimentScale(None, None, 500, 600, True)
+        if getattr(args, "full", False)
+        else ExperimentScale.from_env()
+    )
+    registry = _registry(scale)
+    if args.experiment == "all":
+        names = list(registry)
+    elif args.experiment in registry:
+        names = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        result = registry[name](args)
+        print(result.render())
+        if getattr(args, "plot", False) and result.series:
+            from repro.evaluation.ascii_chart import line_chart
+
+            # Chart at most four series to keep the terminal readable.
+            subset = dict(list(result.series.items())[:4])
+            print()
+            print(line_chart(subset))
+        print(f"[{name}: {time.perf_counter() - start:.1f}s]")
+        print()
+    return 0

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: regularization-based online algorithms.
+
+* :mod:`repro.core.subproblem` — the per-slot regularized convex
+  subproblem P2(t) (Section III-B);
+* :mod:`repro.core.online` — the prediction-free online algorithm that
+  chains the subproblems (Theorem 1);
+* :mod:`repro.core.single` — the single-resource special case with its
+  closed-form exponential-decay recursion (Section III-C) and the
+  adversarial constructions of Lemma 2 / Theorems 2-3;
+* :mod:`repro.core.competitive` — competitive-ratio formulas
+  (Theorem 1 and the N-tier generalization).
+"""
+
+from repro.core.subproblem import RegularizedSubproblem, SubproblemConfig
+from repro.core.online import RegularizedOnline, OnlineConfig
+from repro.core.single import (
+    SingleResourceProblem,
+    single_greedy,
+    single_offline_optimal,
+    single_online_decay,
+    single_fhc,
+    single_rhc,
+    vee_workload,
+)
+from repro.core.competitive import (
+    capacity_term,
+    empirical_ratio,
+    theorem1_ratio,
+    theorem1_ratio_normalized,
+)
+
+__all__ = [
+    "RegularizedSubproblem",
+    "SubproblemConfig",
+    "RegularizedOnline",
+    "OnlineConfig",
+    "SingleResourceProblem",
+    "single_online_decay",
+    "single_greedy",
+    "single_offline_optimal",
+    "single_fhc",
+    "single_rhc",
+    "vee_workload",
+    "capacity_term",
+    "theorem1_ratio",
+    "theorem1_ratio_normalized",
+    "empirical_ratio",
+]

@@ -1,0 +1,112 @@
+"""Competitive-ratio formulas (Theorem 1 and the N-tier generalization).
+
+Theorem 1: the regularized online algorithm is ``r``-competitive with
+
+.. math::
+
+    r = 1 + |I| \\, (C(\\varepsilon) + B(\\varepsilon')), \\qquad
+    C(\\varepsilon) = \\max_i (C_i + \\varepsilon)\\ln(1 + C_i/\\varepsilon), \\\\
+    B(\\varepsilon') = \\max_{(i,j)} (B_{ij} + \\varepsilon')
+        \\ln(1 + B_{ij}/\\varepsilon').
+
+The bound decreases as epsilon grows and scales with the capacities;
+per the paper's Remarks, inputs can always be normalized (divide
+workloads and capacities by the largest capacity) before applying the
+formula, which is what :func:`theorem1_ratio_normalized` does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.network import CloudNetwork
+
+
+def capacity_term(capacities: np.ndarray, epsilon: float) -> float:
+    """``max_k (cap_k + eps) * ln(1 + cap_k/eps)`` over an array of capacities."""
+    if not (epsilon > 0):
+        raise ValueError("epsilon must be > 0")
+    caps = np.atleast_1d(np.asarray(capacities, dtype=float))
+    if caps.size == 0:
+        return 0.0
+    return float(np.max((caps + epsilon) * np.log1p(caps / epsilon)))
+
+
+def theorem1_ratio(
+    network: CloudNetwork,
+    epsilon: float,
+    epsilon_prime: "float | None" = None,
+) -> float:
+    """The worst-case competitive ratio of Theorem 1 for a network."""
+    eps2 = epsilon if epsilon_prime is None else epsilon_prime
+    C_eps = capacity_term(network.tier2_capacity, epsilon)
+    B_eps = capacity_term(network.edge_capacity, eps2)
+    return 1.0 + network.n_tier2 * (C_eps + B_eps)
+
+
+def theorem1_ratio_normalized(
+    network: CloudNetwork,
+    epsilon: float,
+    epsilon_prime: "float | None" = None,
+) -> float:
+    """Theorem 1 after normalizing all capacities by the largest one.
+
+    The paper's Remarks: the problem can always be rescaled so that
+    capacities (and hence workloads) lie in ``[0, 1]``, giving a much
+    smaller ratio; decisions translate back by the same scale.  The
+    epsilon arguments are interpreted in normalized units.
+    """
+    scale = float(
+        max(network.tier2_capacity.max(), network.edge_capacity.max())
+    )
+    eps2 = epsilon if epsilon_prime is None else epsilon_prime
+    C_eps = capacity_term(network.tier2_capacity / scale, epsilon)
+    B_eps = capacity_term(network.edge_capacity / scale, eps2)
+    return 1.0 + network.n_tier2 * (C_eps + B_eps)
+
+
+def ntier_ratio(
+    tier_capacities: "list[np.ndarray]",
+    link_capacities: "list[np.ndarray]",
+    epsilon: float,
+    epsilon_prime: "float | None" = None,
+) -> float:
+    """Reconstructed N-tier generalization of Theorem 1 (Section III-E).
+
+    The paper's supplementary file (unavailable) states the N-tier
+    ratio; we reconstruct the natural extension of the Step-4 argument:
+    every regularized node tier ``n >= 2`` contributes a
+    ``C^(n)(eps)`` term and every inter-tier link stage a
+    ``B^(n)(eps')`` term, each multiplied by the maximum number of
+    clouds in any single tier (the union bound over dual variables).
+    For ``N = 2`` this reduces exactly to Theorem 1.
+
+    Parameters
+    ----------
+    tier_capacities:
+        One capacity array per *regularized node tier* (tiers 2..N in
+        the paper's numbering).
+    link_capacities:
+        One capacity array per inter-tier link stage (stage n connects
+        tier n and n+1).
+    """
+    eps2 = epsilon if epsilon_prime is None else epsilon_prime
+    if not tier_capacities and not link_capacities:
+        return 1.0
+    widths = [np.atleast_1d(c).size for c in tier_capacities]
+    m = max(widths) if widths else 1
+    total = sum(capacity_term(c, epsilon) for c in tier_capacities)
+    total += sum(capacity_term(c, eps2) for c in link_capacities)
+    return 1.0 + m * total
+
+
+def empirical_ratio(algorithm_cost: float, offline_cost: float) -> float:
+    """The 'actual' competitive ratio reported in Fig. 6.
+
+    Ratio of the algorithm's realized total cost to the offline
+    optimum.  Zero offline cost (a trivial instance) yields 1.0 when
+    the algorithm's cost is also ~0, else ``inf``.
+    """
+    if offline_cost <= 0:
+        return 1.0 if algorithm_cost <= 1e-12 else float("inf")
+    return float(algorithm_cost / offline_cost)

@@ -1,0 +1,99 @@
+"""The prediction-free regularized online algorithm (Section III).
+
+At every slot ``t`` the algorithm solves the regularized subproblem
+P2(t), anchored at the *previous subproblem's* optimal decision, and
+applies the result.  Lemma 1 guarantees every per-slot decision is
+feasible for P1 at ``t``; Theorem 1 bounds the chained cost by
+``r = 1 + |I| (C(eps) + B(eps'))`` times the offline optimum.
+
+Behaviour in one sentence: when the workload rises the algorithm
+follows it exactly, and when the workload falls it releases resources
+along a controlled exponential-decay curve so that a future rise does
+not pay full reconfiguration cost again.
+"""
+
+from __future__ import annotations
+
+from repro.core.subproblem import RegularizedSubproblem, SubproblemConfig
+from repro.model.allocation import Allocation, Trajectory
+from repro.model.instance import Instance
+
+# Re-export under the algorithm-facing name.
+OnlineConfig = SubproblemConfig
+
+
+class RegularizedOnline:
+    """Online algorithm: chain P2(1), P2(2), ... (no prediction).
+
+    Parameters
+    ----------
+    config:
+        Subproblem parameters (epsilon, capacity caps, hedging, solver
+        backend).  Defaults match the paper's evaluation
+        (``epsilon = epsilon' = 1e-2``).
+
+    Example
+    -------
+    ``RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(instance)``
+    returns a feasible :class:`~repro.model.allocation.Trajectory`.
+    """
+
+    name = "regularized-online"
+
+    def __init__(self, config: "OnlineConfig | None" = None) -> None:
+        self.config = config or OnlineConfig()
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        subproblem: RegularizedSubproblem,
+        instance: Instance,
+        t: int,
+        previous: Allocation,
+    ) -> Allocation:
+        """Solve P2(t) for slot ``t`` of ``instance`` given the previous decision.
+
+        One-slot convenience API; the run loop and the RFHC/RRHC chain
+        use the warm-started ``solve_reduced`` path directly.
+        """
+        return subproblem.solve(
+            workload=instance.workload[t],
+            tier2_price=instance.tier2_price[t],
+            link_price=instance.link_price[t],
+            previous=previous,
+        )
+
+    def make_subproblem(self, instance: Instance) -> RegularizedSubproblem:
+        """Build the reusable subproblem structure for an instance's network."""
+        return RegularizedSubproblem(instance.network, self.config)
+
+    def run(
+        self,
+        instance: Instance,
+        initial: "Allocation | None" = None,
+    ) -> Trajectory:
+        """Run the online loop over the whole horizon.
+
+        Parameters
+        ----------
+        instance:
+            Problem inputs; only slot-``t`` data is used at step ``t``
+            (the algorithm is genuinely online).
+        initial:
+            Decision at slot ``-1``; defaults to all-zero as in the
+            paper (``x_0 = y_0 = 0``).
+        """
+        sub = self.make_subproblem(instance)
+        prev = initial or Allocation.zeros(instance.network.n_edges)
+        steps: list[Allocation] = []
+        warm = None
+        for t in range(instance.horizon):
+            prev, warm = sub.solve_reduced(
+                workload=instance.workload[t],
+                tier2_price=instance.tier2_price[t],
+                link_price=instance.link_price[t],
+                previous=prev,
+                warm=warm,
+            )
+            steps.append(prev)
+        return Trajectory.from_steps(steps)

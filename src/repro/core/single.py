@@ -1,0 +1,242 @@
+"""Single-resource special case (Section III-C) and adversarial constructions.
+
+The simplified problem (4) is
+
+.. math::
+
+    \\min \\; \\sum_t a_t x_t + b \\sum_t [x_t - x_{t-1}]^+
+    \\quad \\text{s.t.} \\quad \\lambda_t \\le x_t \\le C, \\; x_0 = 0.
+
+Its regularized subproblem has the closed-form constraint-free
+minimizer (eq. (6))
+
+.. math::
+
+    \\bar x_t = (1 + C/\\varepsilon)^{-a_t/b} (x_{t-1} + \\varepsilon)
+        - \\varepsilon,
+
+so the online decision is ``x_t = max(lambda_t, bar_x_t)`` — follow
+the workload on the way up, exponential decay on the way down.  This
+module implements that recursion exactly (no convex solver needed),
+plus the greedy / offline / FHC / RHC counterparts used by Lemma 2 and
+Theorems 2-3, and the V-shaped adversarial workload of Lemma 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.lp import LinearProgram
+from repro.util.validation import check_nonnegative
+
+
+@dataclass
+class SingleResourceProblem:
+    """Inputs of the simplified problem (4).
+
+    Attributes
+    ----------
+    workload:
+        ``(T,)`` array of per-slot demand ``lambda_t`` (each ``<= capacity``).
+    prices:
+        ``(T,)`` array of allocation prices ``a_t > 0`` (or a scalar).
+    capacity:
+        The resource capacity ``C``.
+    recon_price:
+        The reconfiguration price ``b >= 0``.
+    """
+
+    workload: np.ndarray
+    prices: np.ndarray
+    capacity: float
+    recon_price: float
+
+    def __post_init__(self) -> None:
+        self.workload = check_nonnegative("workload", np.atleast_1d(self.workload))
+        T = self.workload.shape[0]
+        self.prices = np.broadcast_to(
+            check_nonnegative("prices", np.atleast_1d(self.prices)), (T,)
+        ).copy()
+        if not (self.capacity > 0):
+            raise ValueError("capacity must be > 0")
+        if self.recon_price < 0:
+            raise ValueError("recon_price must be >= 0")
+        if np.any(self.workload > self.capacity * (1 + 1e-12)):
+            raise ValueError("workload exceeds capacity")
+
+    @property
+    def horizon(self) -> int:
+        return self.workload.shape[0]
+
+    def cost(self, x: np.ndarray, x0: float = 0.0) -> float:
+        """Total allocation + reconfiguration cost of a decision sequence."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        prev = np.concatenate([[x0], x[:-1]])
+        return float(
+            self.prices @ x + self.recon_price * np.maximum(x - prev, 0.0).sum()
+        )
+
+    def is_feasible(self, x: np.ndarray, atol: float = 1e-9) -> bool:
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        return bool(
+            np.all(x >= self.workload - atol) and np.all(x <= self.capacity + atol)
+        )
+
+
+# ----------------------------------------------------------------------
+# Algorithms
+# ----------------------------------------------------------------------
+def single_online_decay(
+    problem: SingleResourceProblem, epsilon: float, x0: float = 0.0
+) -> np.ndarray:
+    """The paper's online algorithm via the exact recursion (6).
+
+    ``x_t = max(lambda_t, (1 + C/eps)^(-a_t/b) (x_{t-1} + eps) - eps)``,
+    clipped into ``[0, C]``.  With ``b = 0`` the decay is instantaneous
+    and the algorithm reduces to greedy workload-following.
+    """
+    if not (epsilon > 0):
+        raise ValueError("epsilon must be > 0")
+    lam, a = problem.workload, problem.prices
+    C, b = problem.capacity, problem.recon_price
+    T = lam.shape[0]
+    x = np.empty(T)
+    prev = float(x0)
+    base = 1.0 + C / epsilon
+    for t in range(T):
+        if b > 0:
+            # For b near underflow the exponent overflows to -inf and
+            # the decay factor correctly collapses to 0 (greedy limit).
+            with np.errstate(over="ignore"):
+                decay = base ** (-a[t] / b)
+            x_bar = decay * (prev + epsilon) - epsilon
+        else:
+            x_bar = 0.0
+        prev = min(max(lam[t], x_bar, 0.0), C)
+        x[t] = prev
+    return x
+
+
+def single_greedy(problem: SingleResourceProblem) -> np.ndarray:
+    """One-shot optimization per slot: always ``x_t = lambda_t``.
+
+    (For any ``a_t > 0`` the one-shot slice is minimized by allocating
+    exactly the workload — reconfiguration between slots is ignored.)
+    """
+    return problem.workload.copy()
+
+
+def single_offline_optimal(
+    problem: SingleResourceProblem,
+    x0: float = 0.0,
+    terminal: "float | None" = None,
+) -> tuple[np.ndarray, float]:
+    """Offline optimum of (4) via LP; returns ``(x, cost)``.
+
+    ``terminal`` optionally pins a final state whose reconfiguration
+    from ``x_{T-1}`` is also charged (used by the windowed algorithms).
+    """
+    T = problem.horizon
+    lp = LinearProgram()
+    lp.add_block(
+        "x", T, lb=problem.workload, ub=problem.capacity, cost=problem.prices
+    )
+    lp.add_block("u", T, lb=0.0, cost=problem.recon_price)
+    # u_t >= x_t - x_{t-1}  <=>  x_t - x_{t-1} - u_t <= 0.
+    import scipy.sparse as sp
+
+    eye = sp.identity(T, format="csr")
+    shift = sp.diags([np.ones(T - 1)], [-1], shape=(T, T), format="csr")
+    rhs = np.zeros(T)
+    rhs[0] = -x0  # x_1 - x0 - u_1 <= 0
+    lp.add_rows("<=", rhs, x=eye - shift, u=-eye)
+    if terminal is not None:
+        lp.add_block("u_term", 1, lb=0.0, cost=problem.recon_price)
+        # u_term >= terminal - x_{T-1}  <=>  -x_{T-1} - u_term <= -terminal.
+        last = sp.csr_matrix(([-1.0], ([0], [T - 1])), shape=(1, T))
+        lp.add_rows("<=", np.array([-terminal]), x=last, u_term=-sp.identity(1))
+    sol = lp.solve()
+    return sol["x"].copy(), float(sol.objective)
+
+
+def single_fhc(
+    problem: SingleResourceProblem, window: int, x0: float = 0.0
+) -> np.ndarray:
+    """Fixed Horizon Control on the scalar problem (exact predictions).
+
+    Solves the windowed problem at ``t = 0, w, 2w, ...`` and applies
+    the whole block.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    T = problem.horizon
+    x = np.empty(T)
+    prev = x0
+    for start in range(0, T, window):
+        stop = min(start + window, T)
+        sub = SingleResourceProblem(
+            problem.workload[start:stop],
+            problem.prices[start:stop],
+            problem.capacity,
+            problem.recon_price,
+        )
+        xs, _ = single_offline_optimal(sub, x0=prev)
+        x[start:stop] = xs
+        prev = xs[-1]
+    return x
+
+
+def single_rhc(
+    problem: SingleResourceProblem, window: int, x0: float = 0.0
+) -> np.ndarray:
+    """Receding Horizon Control on the scalar problem (exact predictions).
+
+    At every ``t`` solves over ``[t, t+w)`` and applies only slot ``t``.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    T = problem.horizon
+    x = np.empty(T)
+    prev = x0
+    for t in range(T):
+        stop = min(t + window, T)
+        sub = SingleResourceProblem(
+            problem.workload[t:stop],
+            problem.prices[t:stop],
+            problem.capacity,
+            problem.recon_price,
+        )
+        xs, _ = single_offline_optimal(sub, x0=prev)
+        prev = float(xs[0])
+        x[t] = prev
+    return x
+
+
+# ----------------------------------------------------------------------
+# Adversarial constructions (Lemma 2, Theorems 2-3)
+# ----------------------------------------------------------------------
+def vee_workload(
+    peak: float,
+    valley: float,
+    down_length: int,
+    up_length: int,
+) -> np.ndarray:
+    """The V-shaped workload of Lemma 2.
+
+    Strictly decreases from ``peak`` to ``valley`` over ``down_length``
+    slots, then strictly increases back to ``peak`` over ``up_length``
+    slots.  Greedy control re-buys the entire ramp on the way up and
+    its cost ratio vs the offline optimum grows without bound as the
+    reconfiguration price grows (Theorem 2); FHC/RHC suffer the same
+    fate whenever the prediction window is shorter than the ramp
+    (Theorem 3).
+    """
+    if not (0 <= valley < peak):
+        raise ValueError("need 0 <= valley < peak")
+    if down_length < 2 or up_length < 2:
+        raise ValueError("each ramp needs at least 2 slots")
+    down = np.linspace(peak, valley, down_length)
+    up = np.linspace(valley, peak, up_length)
+    return np.concatenate([down, up[1:]])

@@ -1,0 +1,362 @@
+"""The regularized per-slot subproblem P2(t) (Section III-B).
+
+P2(t) replaces each ``[.]^+`` reconfiguration term of P1 with a
+relative-entropy regularizer anchored at the previous slot's decision:
+
+.. math::
+
+    \\min \\; \\sum_i a_{it} X_i + \\sum_e c_{et} y_e
+    + \\sum_i \\frac{b_i}{\\eta_i}\\Big((X_i+\\varepsilon)
+        \\ln\\frac{X_i+\\varepsilon}{\\hat X_i+\\varepsilon} - X_i\\Big)
+    + \\sum_e \\frac{d_e}{\\eta'_e}\\Big((y_e+\\varepsilon')
+        \\ln\\frac{y_e+\\varepsilon'}{\\hat y_e+\\varepsilon'} - y_e\\Big)
+
+with :math:`\\eta_i = \\ln(1 + C_i/\\varepsilon)`,
+:math:`\\eta'_e = \\ln(1 + B_e/\\varepsilon')`.
+
+**Reduced variable space.** In the paper's formulation the tier-2
+variables are per-edge ``x_ij``; however both the objective and every
+constraint involve ``x`` only through the per-cloud totals
+``X_i = sum_{j in J_i} x_ij`` together with ``x_ij >= s_ij``.  We
+therefore solve over ``v = [X (I,), y (E,), s (E,)]`` with the
+equivalent constraint ``sum_{j in J_i} s_ij <= X_i``, and split ``X_i``
+back onto edges afterwards (``x_ij = s_ij + proportional share of the
+slack``).  The split provably affects neither the cost, nor any P1
+constraint, nor the next subproblem (whose regularizer sees only
+``X_i`` and ``y_e``).
+
+Constraints (all reduced to ``A v <= b`` plus box bounds):
+
+* (3b)  ``y_e >= s_e``;
+* (3c)  ``sum_{e in I_j} s_e >= lambda_j``;
+* (3a)+(1b) reduced: ``sum_{e in J_i} s_e <= X_i``;
+* (3d)  hedging: ``sum_{k != i} X_k >= [sum_j lambda_j - C_i]^+``;
+* (3e)  hedging: ``sum_{k in I_j, k != i} y_kj >= [lambda_j - B_e]^+``;
+* box:  ``0 <= X_i <= C_i``, ``0 <= y_e <= B_e``, ``s_e >= 0``
+  (capacity caps are implied at the optimum by Lemma 1; imposing them
+  explicitly keeps every iterate feasible and is the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.model.allocation import Allocation
+from repro.model.network import CloudNetwork
+from repro.solvers.convex import (
+    EntropicTerm,
+    SeparableObjective,
+    SmoothConvexProgram,
+    SolverOptions,
+)
+
+
+@dataclass
+class SubproblemConfig:
+    """Parameters of the regularized subproblem.
+
+    Attributes
+    ----------
+    epsilon:
+        The tier-2 regularization parameter ``epsilon > 0``.
+    epsilon_prime:
+        The link regularization parameter; ``None`` means "same as
+        ``epsilon``" (the paper's evaluation always sets them equal).
+    capacity_caps:
+        Impose ``X_i <= C_i`` and ``y_e <= B_e`` explicitly.
+    hedging:
+        Include the overflow-covering constraints (3d)/(3e).  These are
+        part of the paper's algorithm (they make the dual mapping of
+        the competitive proof work and hedge against demand shifts);
+        disabling them is exposed for ablation studies.
+    solver:
+        Options forwarded to the convex solver.
+    """
+
+    epsilon: float = 1e-2
+    epsilon_prime: float | None = None
+    capacity_caps: bool = True
+    hedging: bool = True
+    solver: SolverOptions = field(default_factory=SolverOptions)
+
+    def __post_init__(self) -> None:
+        if not (self.epsilon > 0):
+            raise ValueError("epsilon must be > 0")
+        if self.epsilon_prime is not None and not (self.epsilon_prime > 0):
+            raise ValueError("epsilon_prime must be > 0")
+
+    @property
+    def eps2(self) -> float:
+        """The effective link-side epsilon'."""
+        return self.epsilon if self.epsilon_prime is None else self.epsilon_prime
+
+
+class RegularizedSubproblem:
+    """Builds and solves P2(t) for one slot of a two-tier instance.
+
+    The constraint structure depends only on the network, so a single
+    instance of this class is reused across slots: per-slot data
+    (prices, workload, previous allocation) enter through
+    :meth:`solve`.
+    """
+
+    def __init__(self, network: CloudNetwork, config: SubproblemConfig) -> None:
+        self.network = network
+        self.config = config
+        n_i, n_e = network.n_tier2, network.n_edges
+        self.n_vars = n_i + 2 * n_e
+        # Variable layout: [X (I,) | y (E,) | s (E,)].
+        self.sl_X = slice(0, n_i)
+        self.sl_y = slice(n_i, n_i + n_e)
+        self.sl_s = slice(n_i + n_e, n_i + 2 * n_e)
+
+        self.eta_tier2 = np.log1p(network.tier2_capacity / config.epsilon)
+        self.eta_link = np.log1p(network.edge_capacity / config.eps2)
+        # Regularizer weights b_i/eta_i and d_e/eta'_e.
+        self.weight_tier2 = network.tier2_recon_price / self.eta_tier2
+        self.weight_link = network.edge_recon_price / self.eta_link
+
+        self._A_static = self._build_static_rows()
+        self._bounds = self._build_bounds()
+
+    # ------------------------------------------------------------------
+    # Constraint assembly
+    # ------------------------------------------------------------------
+    def _build_static_rows(self) -> dict[str, sp.csr_matrix]:
+        """Constraint matrices that do not depend on slot data."""
+        net = self.network
+        n_i, n_e = net.n_tier2, net.n_edges
+        I_E = sp.identity(n_e, format="csr")
+        Z_ie = sp.csr_matrix((n_e, n_i))
+        Z_ee = sp.csr_matrix((n_e, n_e))
+
+        # (3b) s - y <= 0, rows: E.
+        rows_sy = sp.hstack([Z_ie, -I_E, I_E], format="csr")
+
+        # coverage: -sum_{e in I_j} s_e <= -lambda_j, rows: J.
+        MJ = net.tier1_incidence
+        rows_cov = sp.hstack(
+            [sp.csr_matrix((net.n_tier1, n_i)), sp.csr_matrix((net.n_tier1, n_e)), -MJ],
+            format="csr",
+        )
+
+        # x>=s reduced: sum_{e in J_i} s_e - X_i <= 0, rows: I.
+        MI = net.tier2_incidence
+        rows_xs = sp.hstack(
+            [-sp.identity(n_i, format="csr"), sp.csr_matrix((n_i, n_e)), MI],
+            format="csr",
+        )
+
+        # (3d): -(sum_k X_k - X_i) <= -[Lambda - C_i]^+, rows: I.
+        ones_off_diag = sp.csr_matrix(np.ones((n_i, n_i)) - np.eye(n_i))
+        rows_hedge_x = sp.hstack(
+            [-ones_off_diag, sp.csr_matrix((n_i, n_e)), sp.csr_matrix((n_i, n_e))],
+            format="csr",
+        )
+
+        # (3e): -(sum_{k in I_j} y_kj - y_e) <= -[lambda_j - B_e]^+, rows: E.
+        # Row e selects edges sharing e's tier-1 endpoint, excluding e.
+        MJ_rows = MJ[net.edge_j]  # (E, E): row e has 1s on edges of j(e)
+        rows_hedge_y = sp.hstack(
+            [Z_ie, -(MJ_rows - I_E), Z_ee], format="csr"
+        )
+
+        return {
+            "s_le_y": rows_sy,
+            "coverage": rows_cov,
+            "s_le_X": rows_xs,
+            "hedge_x": rows_hedge_x,
+            "hedge_y": rows_hedge_y,
+        }
+
+    def _build_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        net = self.network
+        lb = np.zeros(self.n_vars)
+        ub = np.full(self.n_vars, np.inf)
+        if self.config.capacity_caps:
+            ub[self.sl_X] = net.tier2_capacity
+            ub[self.sl_y] = net.edge_capacity
+            ub[self.sl_s] = net.edge_capacity  # implied by s <= y <= B
+        return lb, ub
+
+    def build(
+        self,
+        workload: np.ndarray,
+        tier2_price: np.ndarray,
+        link_price: np.ndarray,
+        previous: Allocation,
+    ) -> SmoothConvexProgram:
+        """Assemble the convex program for one slot.
+
+        Parameters
+        ----------
+        workload:
+            ``(J,)`` — ``lambda_{jt}``.
+        tier2_price, link_price:
+            ``(I,)`` and ``(E,)`` — the slot's allocation prices.
+        previous:
+            The previous slot's decision (edge space); its tier-2
+            totals anchor the regularizers.
+        """
+        net = self.network
+        cfg = self.config
+        n_i, n_e = net.n_tier2, net.n_edges
+        workload = np.asarray(workload, dtype=float)
+
+        linear = np.zeros(self.n_vars)
+        linear[self.sl_X] = tier2_price
+        linear[self.sl_y] = link_price
+
+        X_prev = previous.tier2_totals(net)
+        y_prev = np.asarray(previous.y, dtype=float)
+        entropic = [
+            EntropicTerm(
+                indices=np.arange(n_i),
+                weight=self.weight_tier2,
+                eps=cfg.epsilon,
+                ref=X_prev,
+            ),
+            EntropicTerm(
+                indices=np.arange(n_i, n_i + n_e),
+                weight=self.weight_link,
+                eps=cfg.eps2,
+                ref=y_prev,
+            ),
+        ]
+        objective = SeparableObjective(self.n_vars, linear, entropic)
+
+        A_parts = [self._A_static["s_le_y"], self._A_static["coverage"],
+                   self._A_static["s_le_X"]]
+        b_parts = [np.zeros(n_e), -workload, np.zeros(n_i)]
+
+        if cfg.hedging:
+            total = float(workload.sum())
+            rhs_x = np.maximum(total - net.tier2_capacity, 0.0)
+            keep = rhs_x > 0
+            if np.any(keep):
+                A_parts.append(self._A_static["hedge_x"][keep])
+                b_parts.append(-rhs_x[keep])
+            lam_e = workload[net.edge_j]
+            rhs_y = np.maximum(lam_e - net.edge_capacity, 0.0)
+            keep = rhs_y > 0
+            if np.any(keep):
+                A_parts.append(self._A_static["hedge_y"][keep])
+                b_parts.append(-rhs_y[keep])
+
+        A = sp.vstack(A_parts, format="csr")
+        b = np.concatenate(b_parts)
+        lb, ub = self._bounds
+        return SmoothConvexProgram(objective, A, b, lb, ub)
+
+    # ------------------------------------------------------------------
+    # Warm start
+    # ------------------------------------------------------------------
+    def _interior_candidate(
+        self, prog: SmoothConvexProgram, workload: np.ndarray
+    ) -> "np.ndarray | None":
+        """Cheap strictly-interior point; None if the heuristic fails.
+
+        Spreads each tier-1 cloud's demand over its SLA edges in
+        proportion to link capacity, then places y and X strictly
+        between the induced lower requirement and the capacity.
+        """
+        net = self.network
+        lam = np.asarray(workload, dtype=float)
+        link_sum = net.aggregate_tier1(net.edge_capacity)  # (J,)
+        share = net.edge_capacity / np.maximum(link_sum[net.edge_j], 1e-300)
+        floor = 1e-9 * (1.0 + net.edge_capacity)
+        s = np.maximum((lam[net.edge_j] * share) * 1.02, floor)
+        y = 0.5 * (s + net.edge_capacity)  # strictly between s and B
+        S_i = net.aggregate_tier2(s)
+        X = 0.5 * (S_i + net.tier2_capacity)  # strictly between
+        v = np.empty(self.n_vars)
+        v[self.sl_X] = X
+        v[self.sl_y] = y
+        v[self.sl_s] = s
+        # Strict interiority check.
+        if prog.A.shape[0]:
+            slack = prog.b - prog.A @ v
+            if slack.size and float(slack.min()) <= 1e-12:
+                return None
+        if np.any(v - prog.lb <= 0) or np.any(prog.ub - v <= 0):
+            return None
+        return v
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        workload: np.ndarray,
+        tier2_price: np.ndarray,
+        link_price: np.ndarray,
+        previous: Allocation,
+        warm: "np.ndarray | None" = None,
+    ) -> Allocation:
+        """Solve P2(t) and return the slot's decision in edge space."""
+        alloc, _ = self.solve_reduced(workload, tier2_price, link_price, previous, warm)
+        return alloc
+
+    def solve_reduced(
+        self,
+        workload: np.ndarray,
+        tier2_price: np.ndarray,
+        link_price: np.ndarray,
+        previous: Allocation,
+        warm: "np.ndarray | None" = None,
+    ) -> "tuple[Allocation, np.ndarray]":
+        """Solve P2(t); also return the reduced solution vector.
+
+        ``warm`` may be the previous slot's reduced solution: decisions
+        change slowly, so blending it with the interior candidate gives
+        a strictly interior near-optimal start and the barrier path can
+        begin at a larger ``tau`` (~25 % fewer Newton steps, measured;
+        results identical to solver tolerance).
+        """
+        prog = self.build(workload, tier2_price, link_price, previous)
+        cand = self._interior_candidate(prog, workload)
+        v0 = cand
+        options = self.config.solver
+        if warm is not None and cand is not None:
+            blend = 0.9 * warm + 0.1 * cand
+            if prog.A.shape[0]:
+                slack = prog.b - prog.A @ blend
+                interior = slack.size == 0 or float(slack.min()) > 1e-12
+            else:  # pragma: no cover - subproblems always have rows
+                interior = True
+            if (
+                interior
+                and np.all(blend - prog.lb > 0)
+                and np.all(prog.ub - blend > 0)
+            ):
+                v0 = blend
+                if options.backend == "barrier":
+                    options = replace(options, barrier_t0=max(options.barrier_t0, 1e3))
+        v = prog.solve(v0=v0, options=options)
+        return self.split(v, workload), v
+
+    def split(self, v: np.ndarray, workload: np.ndarray) -> Allocation:
+        """Map a reduced solution back to edge-space ``(x, y, s)``.
+
+        ``x_e = s_e + share_e * (X_i - sum_{e' in J_i} s_{e'})`` with
+        shares proportional to ``s`` (uniform when all ``s`` are zero
+        for the cloud).  Any split is equivalent for cost, feasibility
+        and the algorithm's future decisions.
+        """
+        net = self.network
+        X = np.maximum(v[self.sl_X], 0.0)
+        y = np.maximum(v[self.sl_y], 0.0)
+        s = np.maximum(v[self.sl_s], 0.0)
+        s = np.minimum(s, y)  # tidy round-off: s <= y exactly
+
+        S_i = net.aggregate_tier2(s)
+        slack = np.maximum(X - S_i, 0.0)  # per-cloud spare allocation
+        # Shares: proportional to s when the cloud serves anything,
+        # otherwise uniform over the cloud's edges.
+        counts = net.aggregate_tier2(np.ones(net.n_edges))
+        denom = np.where(S_i > 0, S_i, counts)
+        base = np.where(S_i[net.edge_i] > 0, s, 1.0)
+        share = base / denom[net.edge_i]
+        x = s + slack[net.edge_i] * share
+        return Allocation(x=x, y=y, s=s)

@@ -1,0 +1,35 @@
+"""Evaluation harness: experiment configs for every table and figure.
+
+Each experiment in the paper's Section V maps to one function in
+:mod:`repro.evaluation.experiments`, returning a structured
+:class:`~repro.evaluation.reporting.ExperimentResult` that the
+benchmark harness prints and asserts shape properties on.  Default
+sizes are laptop-scale; set ``REPRO_FULL_SCALE=1`` for paper scale
+(18 tier-2 / 48 tier-1 clouds, 500/600-hour horizons).
+"""
+
+from repro.evaluation.scale import ExperimentScale
+from repro.evaluation.runner import RunResult, run_algorithm, run_suite
+from repro.evaluation.metrics import (
+    cost_over_time,
+    normalized_costs,
+    summarize_costs,
+)
+from repro.evaluation.reporting import ExperimentResult, format_table
+from repro.evaluation.persistence import load_result, save_result
+from repro.evaluation import experiments
+
+__all__ = [
+    "ExperimentScale",
+    "RunResult",
+    "run_algorithm",
+    "run_suite",
+    "normalized_costs",
+    "cost_over_time",
+    "summarize_costs",
+    "ExperimentResult",
+    "format_table",
+    "save_result",
+    "load_result",
+    "experiments",
+]

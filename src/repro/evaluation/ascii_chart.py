@@ -1,0 +1,90 @@
+"""Terminal charts: sparklines and multi-series line plots in text.
+
+No plotting library ships in the target environment, so the CLI and
+examples render figures directly in the terminal.  Two primitives:
+
+* :func:`sparkline` — a one-line unicode summary of a series;
+* :func:`line_chart` — a fixed-size character canvas with multiple
+  labelled series, y-axis ticks, and distinct glyphs per series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+_GLYPHS = "*o+x#@%&"
+
+
+def sparkline(values: np.ndarray, width: "int | None" = None) -> str:
+    """One-line unicode sparkline of a series.
+
+    ``width`` optionally downsamples (bucket means) to that many
+    characters.  Constant series render as a flat mid-level line.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    if width is not None and width > 0 and values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-15:
+        return _SPARKS[3] * values.size
+    idx = ((values - lo) / (hi - lo) * (len(_SPARKS) - 1)).round().astype(int)
+    return "".join(_SPARKS[i] for i in idx)
+
+
+def line_chart(
+    series: "dict[str, np.ndarray]",
+    width: int = 64,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Multi-series character line chart.
+
+    Each named series is resampled to ``width`` columns and drawn with
+    its own glyph on a shared y-scale.  Returns a multi-line string
+    ending with a legend.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 3:
+        raise ValueError("canvas too small")
+    arrays = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    if any(a.size == 0 for a in arrays.values()):
+        raise ValueError("series must be non-empty")
+    lo = min(float(a.min()) for a in arrays.values())
+    hi = max(float(a.max()) for a in arrays.values())
+    if hi - lo < 1e-15:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, a), glyph in zip(arrays.items(), _GLYPHS):
+        xs = np.linspace(0, a.size - 1, width)
+        ys = np.interp(xs, np.arange(a.size), a)
+        rows = ((ys - lo) / (hi - lo) * (height - 1)).round().astype(int)
+        for col, row in enumerate(rows):
+            canvas[height - 1 - row][col] = glyph
+
+    lines = []
+    for r, row in enumerate(canvas):
+        if r == 0:
+            tick = f"{hi:10.4g} |"
+        elif r == height - 1:
+            tick = f"{lo:10.4g} |"
+        elif r == height // 2:
+            tick = f"{(lo + hi) / 2:10.4g} |"
+        else:
+            tick = " " * 10 + " |"
+        lines.append(tick + "".join(row))
+    lines.append(" " * 10 + " +" + "-" * width)
+    legend = "   ".join(
+        f"{glyph} {name}" for (name, _), glyph in zip(arrays.items(), _GLYPHS)
+    )
+    if y_label:
+        legend = f"[{y_label}]  " + legend
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

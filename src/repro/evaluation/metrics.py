@@ -1,0 +1,44 @@
+"""Metrics over run results: normalization, ratios, time series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.runner import RunResult
+
+
+def normalized_costs(
+    results: "dict[str, RunResult]", reference: str = "offline"
+) -> "dict[str, float]":
+    """Total costs divided by a reference algorithm's total.
+
+    The paper's figures normalize by the offline optimum, so the
+    reference row is 1.0 and every other row is its 'actual
+    competitive ratio'.
+    """
+    if reference not in results:
+        raise KeyError(f"reference {reference!r} not among results")
+    ref = results[reference].total
+    if ref <= 0:
+        return {k: (1.0 if v.total <= 1e-12 else float("inf")) for k, v in results.items()}
+    return {k: v.total / ref for k, v in results.items()}
+
+
+def cost_over_time(result: RunResult) -> np.ndarray:
+    """Cumulative cost series (Fig. 5's y-axis)."""
+    return result.cost.cumulative
+
+
+def summarize_costs(results: "dict[str, RunResult]") -> "list[tuple]":
+    """Rows (name, total, alloc, recon, runtime, feasible) for reporting."""
+    return [
+        (
+            name,
+            r.total,
+            r.cost.allocation_total,
+            r.cost.reconfiguration_total,
+            r.runtime,
+            r.feasible,
+        )
+        for name, r in results.items()
+    ]

@@ -1,0 +1,55 @@
+"""Save and load experiment results as JSON.
+
+Lets `generate_report.py` archive runs and lets regression tooling
+compare a fresh run against a recorded baseline (paper-vs-measured
+bookkeeping for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.evaluation.reporting import ExperimentResult
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable dict of an experiment result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": result.name,
+        "headers": list(result.headers),
+        "rows": [[_jsonable(v) for v in row] for row in result.rows],
+        "series": {k: np.asarray(v).tolist() for k, v in result.series.items()},
+        "notes": list(result.notes),
+    }
+
+
+def _jsonable(v):
+    if isinstance(v, (np.floating, np.integer)):
+        return v.item()
+    return v
+
+
+def save_result(result: ExperimentResult, path: "str | Path") -> None:
+    """Write one result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: "str | Path") -> ExperimentResult:
+    """Read a result back; series are restored as float arrays."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {version!r}")
+    return ExperimentResult(
+        name=data["name"],
+        headers=list(data["headers"]),
+        rows=[tuple(row) for row in data["rows"]],
+        series={k: np.asarray(v, dtype=float) for k, v in data["series"].items()},
+        notes=list(data["notes"]),
+    )

@@ -1,0 +1,70 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints, for every reproduced table/figure, the
+same rows/series the paper reports; :class:`ExperimentResult` is that
+structured payload plus free-form notes recording the expected shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: "list[str]", rows: "list[tuple]") -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[c]) for r in cells)) if cells else len(h)
+        for c, h in enumerate(headers)
+    ]
+    def line(parts):
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one reproduced table/figure.
+
+    Attributes
+    ----------
+    name:
+        Experiment id (e.g. ``"fig5/wikipedia"``).
+    headers, rows:
+        The tabular payload (what the paper's figure plots).
+    series:
+        Optional named time/parameter series backing the rows.
+    notes:
+        Free-form remarks (expected shape, scale used).
+    """
+
+    name: str
+    headers: "list[str]"
+    rows: "list[tuple]"
+    series: "dict[str, np.ndarray]" = field(default_factory=dict)
+    notes: "list[str]" = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.name} =="]
+        parts.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> "list":
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]

@@ -1,0 +1,67 @@
+"""Run algorithms on instances and collect scored results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.allocation import Trajectory
+from repro.model.costs import CostBreakdown, evaluate_cost
+from repro.model.feasibility import check_trajectory
+from repro.model.instance import Instance
+from repro.util.timing import Timer
+
+
+@dataclass
+class RunResult:
+    """A scored algorithm run.
+
+    ``total`` is the realized cost on the *true* instance data
+    (controllers may have planned on forecasts).
+    """
+
+    name: str
+    trajectory: Trajectory
+    cost: CostBreakdown
+    total: float
+    runtime: float
+    feasible: bool
+    feasibility_detail: str
+
+
+def run_algorithm(name: str, algorithm, instance: Instance) -> RunResult:
+    """Run one algorithm (anything with ``.run(instance)``) and score it."""
+    with Timer() as timer:
+        trajectory = algorithm.run(instance)
+    cost = evaluate_cost(instance, trajectory)
+    report = check_trajectory(instance, trajectory)
+    return RunResult(
+        name=name,
+        trajectory=trajectory,
+        cost=cost,
+        total=cost.total,
+        runtime=timer.elapsed,
+        feasible=report.ok,
+        feasibility_detail=report.describe(),
+    )
+
+
+def run_suite(
+    instance: Instance, algorithms: "dict[str, object]"
+) -> "dict[str, RunResult]":
+    """Run several algorithms on the same instance."""
+    return {
+        name: run_algorithm(name, algo, instance)
+        for name, algo in algorithms.items()
+    }
+
+
+class OfflineOracle:
+    """Adapter exposing the offline LP through the ``.run`` protocol."""
+
+    name = "offline-optimal"
+
+    def run(self, instance: Instance) -> Trajectory:
+        """Solve the full-horizon LP and return its trajectory."""
+        from repro.offline.optimal import solve_offline
+
+        return solve_offline(instance).trajectory

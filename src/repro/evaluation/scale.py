@@ -1,0 +1,48 @@
+"""Experiment sizing: laptop-scale defaults, paper scale on request."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizes used by the experiment registry.
+
+    ``from_env`` returns paper scale when ``REPRO_FULL_SCALE=1`` is
+    set (18 tier-2 clouds, 48 tier-1 clouds, 500/600-hour horizons)
+    and a reduced but structurally identical configuration otherwise.
+    The reduction keeps every qualitative property the paper's figures
+    exhibit: multi-day horizons (diurnal + weekly structure), SLA
+    subsets with k up to 4, and both workload regimes.
+    """
+
+    n_tier2: "int | None"
+    n_tier1: "int | None"
+    horizon_wiki: int
+    horizon_worldcup: int
+    full: bool
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        if os.environ.get("REPRO_FULL_SCALE", "0") == "1":
+            return cls(
+                n_tier2=None,  # all 18
+                n_tier1=None,  # all 48
+                horizon_wiki=500,
+                horizon_worldcup=600,
+                full=True,
+            )
+        return cls(
+            n_tier2=6,
+            n_tier1=12,
+            horizon_wiki=96,
+            horizon_worldcup=120,
+            full=False,
+        )
+
+    @classmethod
+    def tiny(cls) -> "ExperimentScale":
+        """Very small scale for unit tests of the experiment registry."""
+        return cls(n_tier2=3, n_tier1=5, horizon_wiki=30, horizon_worldcup=36, full=False)

@@ -1,0 +1,24 @@
+"""Extensions beyond the paper's reduced problem P1.
+
+* :mod:`repro.extensions.full_model` — the full three-cost model
+  ``F_1 + F_12 + F_2`` (tier-1 processing costs included), which the
+  paper drops for ease of presentation ("all the techniques ... are
+  naturally applicable"), implemented by reduction to the N-tier
+  machinery.
+"""
+
+from repro.extensions.full_model import (
+    FullModelResult,
+    full_model_greedy,
+    full_model_offline,
+    full_model_online,
+    to_layered,
+)
+
+__all__ = [
+    "to_layered",
+    "full_model_offline",
+    "full_model_online",
+    "full_model_greedy",
+    "FullModelResult",
+]

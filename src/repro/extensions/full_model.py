@@ -1,0 +1,129 @@
+"""The full three-cost model ``F_1 + F_12 + F_2`` (Section II-B).
+
+The paper removes the tier-1 cost term ``F_1`` (with constraints (2c)
+and (1d)) "for the ease of presentation", noting every technique
+applies unchanged.  This module restores it by *reduction*: a two-tier
+instance with tier-1 prices/capacities is exactly a three-tier layered
+problem in which
+
+* tier 1' is a costless origin layer (one dummy node per edge cloud),
+* tier 2' holds the original tier-1 clouds with capacity ``C_j``,
+  allocation price ``e_jt`` and reconfiguration price ``f_j`` — these
+  carry the ``z_{ijt}`` resources of ``F_1``,
+* tier 3' holds the original tier-2 clouds (``F_2``),
+* the stage-2 links are the original SLA edges (``F_12``), and the
+  stage-1 links are free, uncapacitated feeders.
+
+Every N-tier algorithm (offline LP, greedy, regularized online) then
+optimizes the full objective; the competitive machinery extends via
+:func:`repro.core.competitive.ntier_ratio`.  When tier-1 prices are
+zero and capacities ample, the reduction's optimum coincides with the
+paper's reduced problem P1 (verified in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.instance import Instance
+from repro.model.network import Cloud
+from repro.ntier.greedy import NTierGreedy
+from repro.ntier.layered import LayeredNetwork, LayerLink
+from repro.ntier.offline import solve_ntier_offline
+from repro.ntier.online import NTierConfig, NTierRegularizedOnline
+from repro.ntier.problem import NTierInstance, NTierTrajectory
+
+
+@dataclass
+class FullModelResult:
+    """Outcome of a full-model run: trajectory + realized total cost."""
+
+    trajectory: NTierTrajectory
+    total: float
+
+
+def to_layered(instance: Instance) -> NTierInstance:
+    """Reduce a two-tier instance with tier-1 costs to three tiers.
+
+    Requires ``instance.tier1_price`` (the ``e_jt`` series).  Tier-1
+    clouds with infinite capacity get a capacity equal to their SLA
+    link sum (they can never usefully process more), keeping the
+    layered model bounded.
+    """
+    if instance.tier1_price is None:
+        raise ValueError("full model requires instance.tier1_price (e_jt)")
+    net = instance.network
+    T = instance.horizon
+
+    origin = [Cloud(f"origin-{c.name}", np.inf) for c in net.tier1_clouds]
+    link_sum = net.aggregate_tier1(net.edge_capacity)
+    tier1 = [
+        Cloud(
+            c.name,
+            float(c.capacity) if np.isfinite(c.capacity) else float(link_sum[j]),
+            c.recon_price,
+            c.location,
+        )
+        for j, c in enumerate(net.tier1_clouds)
+    ]
+    tier2 = [
+        Cloud(c.name, c.capacity, c.recon_price, c.location)
+        for c in net.tier2_clouds
+    ]
+
+    links: list[LayerLink] = []
+    # Stage 1: free feeder origin-j -> tier-1 cloud j (capacity = what
+    # the cloud itself can pass on).
+    feeder_cap = np.maximum(link_sum, 1e-9)
+    for j in range(net.n_tier1):
+        links.append(LayerLink(1, j, j, float(feeder_cap[j]), 0.0))
+    # Stage 2: the original SLA edges.
+    for e in range(net.n_edges):
+        links.append(
+            LayerLink(
+                2,
+                int(net.edge_j[e]),
+                int(net.edge_i[e]),
+                float(net.edge_capacity[e]),
+                float(net.edge_recon_price[e]),
+            )
+        )
+
+    layered = LayeredNetwork([origin, tier1, tier2], links)
+
+    # Node prices: [tier-1 clouds (J) | tier-2 clouds (I)] flattened.
+    node_price = np.concatenate([instance.tier1_price, instance.tier2_price], axis=1)
+    # Link prices: stage-1 feeders are free; stage-2 carries c_et.
+    link_price = np.concatenate(
+        [np.zeros((T, net.n_tier1)), instance.link_price], axis=1
+    )
+    return NTierInstance(layered, instance.workload, node_price, link_price)
+
+
+def full_model_offline(instance: Instance) -> FullModelResult:
+    """Offline optimum of ``F_1 + F_12 + F_2``."""
+    layered = to_layered(instance)
+    res = solve_ntier_offline(layered)
+    return FullModelResult(res.trajectory, res.objective)
+
+
+def full_model_greedy(instance: Instance) -> FullModelResult:
+    """Greedy one-shot control of the full model."""
+    layered = to_layered(instance)
+    traj = NTierGreedy().run(layered)
+    return FullModelResult(traj, layered.cost(traj))
+
+
+def full_model_online(
+    instance: Instance, config: "NTierConfig | None" = None
+) -> FullModelResult:
+    """Regularized online control of the full model.
+
+    All three reconfiguration terms — tier-1 clouds (``f_j``), links
+    (``d_ij``) and tier-2 clouds (``b_i``) — are regularized jointly.
+    """
+    layered = to_layered(instance)
+    traj = NTierRegularizedOnline(config or NTierConfig(epsilon=1e-2)).run(layered)
+    return FullModelResult(traj, layered.cost(traj))

@@ -1,0 +1,47 @@
+"""Problem model: cloud network topology, problem instances, costs.
+
+This package implements the model of Section II of the paper: a
+two-tier cloud network with SLA edges, time-varying workloads and
+prices, affine allocation costs and ``[.]^+`` reconfiguration costs.
+"""
+
+from repro.model.network import Cloud, CloudNetwork, SLAEdge
+from repro.model.instance import Instance
+from repro.model.allocation import Allocation, Trajectory
+from repro.model.costs import (
+    CostBreakdown,
+    evaluate_cost,
+    pos_part,
+    reconfiguration_increments,
+)
+from repro.model.feasibility import (
+    FeasibilityReport,
+    check_instance_feasible,
+    check_trajectory,
+    necessary_conditions,
+)
+from repro.model.normalize import (
+    NormalizedInstance,
+    denormalize_trajectory,
+    normalize_instance,
+)
+
+__all__ = [
+    "Cloud",
+    "CloudNetwork",
+    "SLAEdge",
+    "Instance",
+    "Allocation",
+    "Trajectory",
+    "CostBreakdown",
+    "evaluate_cost",
+    "pos_part",
+    "reconfiguration_increments",
+    "FeasibilityReport",
+    "check_instance_feasible",
+    "check_trajectory",
+    "necessary_conditions",
+    "NormalizedInstance",
+    "normalize_instance",
+    "denormalize_trajectory",
+]

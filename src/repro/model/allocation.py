@@ -1,0 +1,120 @@
+"""Allocation decision containers.
+
+An :class:`Allocation` is a single-slot decision ``(x, y, s)`` in edge
+space; a :class:`Trajectory` stacks ``T`` of them.  ``x[e]`` is the
+tier-2 resource allocated on SLA edge ``e = (i, j)`` (i.e. at cloud
+``i`` for workload from cloud ``j``), ``y[e]`` the network resource on
+the edge, and ``s[e]`` the covering auxiliary (``s <= min(x, y)``,
+``sum_{i in I_j} s >= lambda_j``) from the reformulated problem (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.network import CloudNetwork
+from repro.util.validation import check_nonnegative
+
+
+@dataclass
+class Allocation:
+    """Single-slot decision in edge space (arrays of shape ``(E,)``)."""
+
+    x: np.ndarray
+    y: np.ndarray
+    s: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        self.s = np.asarray(self.s, dtype=float)
+        if not (self.x.shape == self.y.shape == self.s.shape):
+            raise ValueError(
+                f"x/y/s shapes differ: {self.x.shape}, {self.y.shape}, {self.s.shape}"
+            )
+        if self.x.ndim != 1:
+            raise ValueError("Allocation arrays must be 1-D (edge space)")
+
+    @classmethod
+    def zeros(cls, n_edges: int) -> "Allocation":
+        """The all-zero decision (the state before the first slot)."""
+        z = np.zeros(n_edges)
+        return cls(z.copy(), z.copy(), z.copy())
+
+    def tier2_totals(self, network: CloudNetwork) -> np.ndarray:
+        """Per-tier-2-cloud totals ``X_i = sum_{j in J_i} x_ij``."""
+        return network.aggregate_tier2(self.x)
+
+    def copy(self) -> "Allocation":
+        return Allocation(self.x.copy(), self.y.copy(), self.s.copy())
+
+
+class Trajectory:
+    """A sequence of allocations over ``T`` slots (arrays ``(T, E)``).
+
+    Supports incremental construction by online algorithms via
+    :meth:`from_steps`, and vectorized cost evaluation through
+    :mod:`repro.model.costs`.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, s: np.ndarray) -> None:
+        self.x = check_nonnegative("trajectory.x", np.atleast_2d(np.asarray(x, float)))
+        self.y = check_nonnegative("trajectory.y", np.atleast_2d(np.asarray(y, float)))
+        self.s = check_nonnegative("trajectory.s", np.atleast_2d(np.asarray(s, float)))
+        if not (self.x.shape == self.y.shape == self.s.shape):
+            raise ValueError(
+                f"x/y/s shapes differ: {self.x.shape}, {self.y.shape}, {self.s.shape}"
+            )
+
+    @classmethod
+    def from_steps(cls, steps: "list[Allocation]") -> "Trajectory":
+        """Stack single-slot allocations produced by an online loop."""
+        if not steps:
+            raise ValueError("cannot build a trajectory from zero steps")
+        return cls(
+            np.stack([a.x for a in steps]),
+            np.stack([a.y for a in steps]),
+            np.stack([a.s for a in steps]),
+        )
+
+    @classmethod
+    def zeros(cls, horizon: int, n_edges: int) -> "Trajectory":
+        return cls(
+            np.zeros((horizon, n_edges)),
+            np.zeros((horizon, n_edges)),
+            np.zeros((horizon, n_edges)),
+        )
+
+    @property
+    def horizon(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        return self.x.shape[1]
+
+    def step(self, t: int) -> Allocation:
+        """The slot-``t`` decision as an :class:`Allocation` (copies)."""
+        return Allocation(self.x[t].copy(), self.y[t].copy(), self.s[t].copy())
+
+    def tier2_totals(self, network: CloudNetwork) -> np.ndarray:
+        """Per-cloud totals ``X_{it}`` as a ``(T, I)`` array."""
+        return network.aggregate_tier2(self.x)
+
+    def concat(self, other: "Trajectory") -> "Trajectory":
+        """Concatenate two trajectories in time (used by FHC-style blocks)."""
+        if self.n_edges != other.n_edges:
+            raise ValueError("edge counts differ")
+        return Trajectory(
+            np.vstack([self.x, other.x]),
+            np.vstack([self.y, other.y]),
+            np.vstack([self.s, other.s]),
+        )
+
+    def copy(self) -> "Trajectory":
+        return Trajectory(self.x.copy(), self.y.copy(), self.s.copy())
+
+    def __repr__(self) -> str:
+        return f"Trajectory(T={self.horizon}, E={self.n_edges})"

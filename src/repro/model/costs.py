@@ -1,0 +1,169 @@
+"""Cost evaluation: affine allocation costs + ``[.]^+`` reconfiguration.
+
+Implements the objective of problem P1 (Section II-B):
+
+* ``F_2``  (tier-2):  ``sum_t sum_i a_it X_it + sum_t sum_i b_i [X_it - X_i,t-1]^+``
+  with ``X_it = sum_{j in J_i} x_ijt``;
+* ``F_12`` (network): ``sum_t sum_e c_et y_et + sum_t sum_e d_e [y_et - y_e,t-1]^+``;
+* ``F_1``  (tier-1, optional extension): analogous to ``F_2`` grouped
+  by tier-1 cloud, using ``tier1_price`` and ``f_j``.
+
+All computations are vectorized over slots and edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.allocation import Trajectory
+from repro.model.instance import Instance
+
+
+def pos_part(u: np.ndarray) -> np.ndarray:
+    """Elementwise ``[u]^+ = max(u, 0)``."""
+    return np.maximum(np.asarray(u, dtype=float), 0.0)
+
+
+def reconfiguration_increments(
+    series: np.ndarray, initial: np.ndarray | float = 0.0
+) -> np.ndarray:
+    """Per-slot increases ``[u_t - u_{t-1}]^+`` of a ``(T, K)`` series.
+
+    ``initial`` is the state at slot ``-1`` (the paper uses 0: starting
+    from nothing, the first slot's entire allocation is a
+    reconfiguration).
+    """
+    series = np.atleast_2d(np.asarray(series, dtype=float))
+    prev = np.vstack([np.broadcast_to(initial, series.shape[1:])[None, :], series[:-1]])
+    return pos_part(series - prev)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-slot cost decomposition of a trajectory.
+
+    Attributes
+    ----------
+    tier2_alloc, tier2_recon:
+        ``(T,)`` arrays: allocation / reconfiguration parts of ``F_2``.
+    link_alloc, link_recon:
+        ``(T,)`` arrays: the two parts of ``F_12``.
+    tier1_alloc, tier1_recon:
+        ``(T,)`` arrays for the optional ``F_1`` (zero when disabled).
+    """
+
+    tier2_alloc: np.ndarray
+    tier2_recon: np.ndarray
+    link_alloc: np.ndarray
+    link_recon: np.ndarray
+    tier1_alloc: np.ndarray
+    tier1_recon: np.ndarray
+
+    @property
+    def per_slot(self) -> np.ndarray:
+        """Total cost of each slot, ``(T,)``."""
+        return (
+            self.tier2_alloc
+            + self.tier2_recon
+            + self.link_alloc
+            + self.link_recon
+            + self.tier1_alloc
+            + self.tier1_recon
+        )
+
+    @property
+    def cumulative(self) -> np.ndarray:
+        """Running total cost over time, ``(T,)`` (Fig. 5's y-axis)."""
+        return np.cumsum(self.per_slot)
+
+    @property
+    def allocation_total(self) -> float:
+        """Total allocation cost over the horizon."""
+        return float(
+            self.tier2_alloc.sum() + self.link_alloc.sum() + self.tier1_alloc.sum()
+        )
+
+    @property
+    def reconfiguration_total(self) -> float:
+        """Total reconfiguration cost over the horizon."""
+        return float(
+            self.tier2_recon.sum() + self.link_recon.sum() + self.tier1_recon.sum()
+        )
+
+    @property
+    def total(self) -> float:
+        """Grand total (allocation + reconfiguration)."""
+        return self.allocation_total + self.reconfiguration_total
+
+
+def evaluate_cost(
+    instance: Instance,
+    trajectory: Trajectory,
+    initial: "object | None" = None,
+    include_tier1: bool = False,
+) -> CostBreakdown:
+    """Evaluate ``F_12 + F_2`` (and optionally ``F_1``) of a trajectory.
+
+    Parameters
+    ----------
+    instance:
+        The problem inputs (prices, network).
+    trajectory:
+        The decisions to score; horizon must match the instance.
+    initial:
+        Optional :class:`~repro.model.allocation.Allocation` giving the
+        state at slot ``-1`` (defaults to all-zero, as in the paper).
+    include_tier1:
+        When true, also charge the tier-1 term ``F_1`` using
+        ``instance.tier1_price`` (requires allocations to satisfy
+        ``z = x`` interpretation; we charge tier-1 on ``s`` totals,
+        the resources actually serving local processing).
+    """
+    net = instance.network
+    T = trajectory.horizon
+    if T != instance.horizon:
+        raise ValueError(
+            f"trajectory horizon {T} != instance horizon {instance.horizon}"
+        )
+
+    # --- Tier-2 cost F_2 ------------------------------------------------
+    X = net.aggregate_tier2(trajectory.x)  # (T, I)
+    X0 = np.zeros(net.n_tier2)
+    if initial is not None:
+        X0 = net.aggregate_tier2(initial.x)
+    tier2_alloc = np.einsum("ti,ti->t", instance.tier2_price, X)
+    dX = reconfiguration_increments(X, X0)
+    tier2_recon = dX @ net.tier2_recon_price
+
+    # --- Network cost F_12 ----------------------------------------------
+    y0 = np.zeros(net.n_edges)
+    if initial is not None:
+        y0 = np.asarray(initial.y, dtype=float)
+    link_alloc = np.einsum("te,te->t", instance.link_price, trajectory.y)
+    dY = reconfiguration_increments(trajectory.y, y0)
+    link_recon = dY @ net.edge_recon_price
+
+    # --- Optional tier-1 cost F_1 ----------------------------------------
+    tier1_alloc = np.zeros(T)
+    tier1_recon = np.zeros(T)
+    if include_tier1:
+        if instance.tier1_price is None:
+            raise ValueError("include_tier1=True requires instance.tier1_price")
+        Z = net.aggregate_tier1(trajectory.s)  # (T, J): tier-1 resources used
+        Z0 = np.zeros(net.n_tier1)
+        if initial is not None:
+            Z0 = net.aggregate_tier1(initial.s)
+        tier1_alloc = np.einsum("tj,tj->t", instance.tier1_price, Z)
+        dZ = reconfiguration_increments(Z, Z0)
+        tier1_recon = dZ @ net.tier1_recon_price
+
+    return CostBreakdown(
+        tier2_alloc=tier2_alloc,
+        tier2_recon=tier2_recon,
+        link_alloc=link_alloc,
+        link_recon=link_recon,
+        tier1_alloc=tier1_alloc,
+        tier1_recon=tier1_recon,
+    )

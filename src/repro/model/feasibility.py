@@ -1,0 +1,182 @@
+"""Feasibility checks for instances and trajectories.
+
+Two levels are provided:
+
+* :func:`necessary_conditions` — the cheap vectorized checks stated in
+  Section II-B (per-slot workload vs link and cloud capacity sums);
+* :func:`check_instance_feasible` — an exact per-slot transportation
+  feasibility test (a max-coverage LP), catching Hall-type violations
+  the necessary conditions miss;
+* :func:`check_trajectory` — verifies a produced trajectory against
+  every constraint of the reformulated problem (2a)-(2e), (1b), (1c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+from repro.model.allocation import Trajectory
+from repro.model.instance import Instance
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of a feasibility check.
+
+    ``violations`` maps a constraint label to the worst violation
+    magnitude found (only entries exceeding the tolerance appear).
+    """
+
+    ok: bool
+    violations: dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        if self.ok:
+            return "feasible"
+        parts = [f"{k}: {v:.3e}" for k, v in sorted(self.violations.items())]
+        return "infeasible (" + "; ".join(parts) + ")"
+
+
+def necessary_conditions(instance: Instance) -> FeasibilityReport:
+    """Vectorized necessary feasibility conditions from the paper.
+
+    Checks, for every slot ``t``:
+
+    * ``sum_{i in I_j} B_ij >= lambda_jt`` for every tier-1 cloud ``j``;
+    * ``sum_i C_i >= sum_j lambda_jt`` (aggregate tier-2 capacity);
+    * if tier-1 capacities are finite: ``C_j >= lambda_jt``.
+    """
+    net = instance.network
+    viol: dict[str, float] = {}
+
+    link_sum = net.aggregate_tier1(net.edge_capacity)  # (J,)
+    gap = instance.workload - link_sum[None, :]
+    worst = float(gap.max(initial=-np.inf))
+    if worst > 0:
+        viol["link_capacity_sum"] = worst
+
+    total_cap = float(net.tier2_capacity.sum())
+    agg_gap = instance.total_workload() - total_cap
+    worst = float(agg_gap.max(initial=-np.inf))
+    if worst > 0:
+        viol["tier2_capacity_sum"] = worst
+
+    finite = np.isfinite(net.tier1_capacity)
+    if finite.any():
+        gap = instance.workload[:, finite] - net.tier1_capacity[None, finite]
+        worst = float(gap.max(initial=-np.inf))
+        if worst > 0:
+            viol["tier1_capacity"] = worst
+
+    return FeasibilityReport(ok=not viol, violations=viol)
+
+
+def _coverage_lp(instance: Instance, t: int) -> float:
+    """Maximum jointly-coverable fraction of slot-``t`` workload.
+
+    Solves ``max theta`` s.t. ``s >= 0``, ``sum_{i in I_j} s_ij >=
+    theta * lambda_jt``, ``sum_{j in J_i} s_ij <= C_i``,
+    ``s_ij <= B_ij``.  A value ``>= 1`` means slot ``t`` is feasible.
+    """
+    net = instance.network
+    lam = instance.workload[t]
+    if lam.sum() <= 0:
+        return np.inf
+    n_e = net.n_edges
+    # Variables: [s (E,), theta].
+    c = np.zeros(n_e + 1)
+    c[-1] = -1.0  # maximize theta
+
+    rows = []
+    rhs = []
+    # Coverage: -sum_{e in I_j} s_e + lambda_j * theta <= 0 for all j.
+    cov = sp.hstack(
+        [-net.tier1_incidence, sp.csr_matrix(lam.reshape(-1, 1))]
+    )
+    rows.append(cov)
+    rhs.append(np.zeros(net.n_tier1))
+    # Tier-2 capacity: sum_{e in J_i} s_e <= C_i.
+    cap = sp.hstack([net.tier2_incidence, sp.csr_matrix((net.n_tier2, 1))])
+    rows.append(cap)
+    rhs.append(net.tier2_capacity)
+
+    A_ub = sp.vstack(rows, format="csr")
+    b_ub = np.concatenate(rhs)
+    bounds = [(0.0, float(B)) for B in net.edge_capacity] + [(0.0, None)]
+    res = linprog(c, A_ub=A_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not res.success:
+        return 0.0
+    return float(-res.fun)
+
+
+def check_instance_feasible(instance: Instance, rtol: float = 1e-9) -> FeasibilityReport:
+    """Exact feasibility of every slot via the coverage LP.
+
+    More expensive than :func:`necessary_conditions` (one small LP per
+    slot) but exact: it catches cases where aggregate capacities
+    suffice yet no SLA-respecting assignment exists.
+    """
+    viol: dict[str, float] = {}
+    for t in range(instance.horizon):
+        theta = _coverage_lp(instance, t)
+        if theta < 1.0 - rtol:
+            viol[f"slot_{t}_coverage"] = 1.0 - theta
+    return FeasibilityReport(ok=not viol, violations=viol)
+
+
+def check_trajectory(
+    instance: Instance,
+    trajectory: Trajectory,
+    atol: float = 1e-6,
+    rtol: float = 1e-6,
+) -> FeasibilityReport:
+    """Verify a trajectory against P1's constraints.
+
+    Checks (vectorized over all slots):
+
+    * (2a) ``x >= s``; (2b) ``y >= s``; (2e) ``s >= 0``;
+    * (2d) ``sum_{i in I_j} s_ij >= lambda_jt``;
+    * (1b) ``sum_{j in J_i} x_ijt <= C_i``;
+    * (1c) ``y_ijt <= B_ij``.
+
+    Tolerances are ``atol + rtol * scale`` with ``scale`` the relevant
+    capacity/workload magnitude, so solver round-off is accepted.
+    """
+    net = instance.network
+    if trajectory.horizon != instance.horizon:
+        raise ValueError("trajectory/instance horizon mismatch")
+    viol: dict[str, float] = {}
+
+    def record(label: str, excess: np.ndarray, scale: np.ndarray | float) -> None:
+        tol = atol + rtol * np.abs(scale)
+        over = excess - tol
+        worst = float(np.max(over, initial=-np.inf))
+        if worst > 0:
+            viol[label] = worst
+
+    record("x_ge_s", trajectory.s - trajectory.x, np.maximum(trajectory.s, 1.0))
+    record("y_ge_s", trajectory.s - trajectory.y, np.maximum(trajectory.s, 1.0))
+    record("s_nonneg", -trajectory.s, 1.0)
+    record("x_nonneg", -trajectory.x, 1.0)
+    record("y_nonneg", -trajectory.y, 1.0)
+
+    coverage = net.aggregate_tier1(trajectory.s)  # (T, J)
+    record("coverage", instance.workload - coverage, np.maximum(instance.workload, 1.0))
+
+    X = net.aggregate_tier2(trajectory.x)  # (T, I)
+    record("tier2_capacity", X - net.tier2_capacity[None, :], net.tier2_capacity)
+
+    record(
+        "link_capacity",
+        trajectory.y - net.edge_capacity[None, :],
+        net.edge_capacity,
+    )
+
+    return FeasibilityReport(ok=not viol, violations=viol)

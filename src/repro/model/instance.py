@@ -1,0 +1,137 @@
+"""A problem instance: network + time-varying workloads and prices.
+
+The instance fixes everything an algorithm may observe: the topology,
+the workload sequence ``lambda_{jt}``, the tier-2 allocation prices
+``a_{it}`` and the per-edge network allocation prices ``c_{ijt}``.
+Optionally it carries tier-1 allocation prices ``e_{jt}`` for the full
+three-cost model (the paper's P1 drops the tier-1 term ``F_1``; every
+algorithm in this library supports the reduced model and the tier-1
+extension is provided at the model/cost level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.network import CloudNetwork
+from repro.util.validation import check_nonnegative
+
+
+@dataclass
+class Instance:
+    """Inputs of problem P1 over a horizon of ``T`` time slots.
+
+    Parameters
+    ----------
+    network:
+        The two-tier topology with capacities and reconfiguration prices.
+    workload:
+        Array ``(T, J)``; ``workload[t, j]`` is ``lambda_{jt}``.
+    tier2_price:
+        Array ``(T, I)``; ``tier2_price[t, i]`` is the allocation price
+        ``a_{it}`` (e.g. electricity).
+    link_price:
+        Array ``(T, E)`` of per-edge network allocation prices
+        ``c_{ijt}`` (e.g. bandwidth), or ``(E,)`` for static prices
+        (broadcast over time).
+    tier1_price:
+        Optional ``(T, J)`` tier-1 allocation prices for the extended
+        three-cost model.
+    """
+
+    network: CloudNetwork
+    workload: np.ndarray
+    tier2_price: np.ndarray
+    link_price: np.ndarray
+    tier1_price: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        net = self.network
+        self.workload = check_nonnegative("workload", np.atleast_2d(self.workload))
+        T = self.workload.shape[0]
+        if self.workload.shape != (T, net.n_tier1):
+            raise ValueError(
+                f"workload has shape {self.workload.shape}, expected ({T}, {net.n_tier1})"
+            )
+        self.tier2_price = check_nonnegative("tier2_price", self.tier2_price)
+        if self.tier2_price.ndim == 1:
+            self.tier2_price = np.broadcast_to(
+                self.tier2_price, (T, net.n_tier2)
+            ).copy()
+        if self.tier2_price.shape != (T, net.n_tier2):
+            raise ValueError(
+                f"tier2_price has shape {self.tier2_price.shape}, "
+                f"expected ({T}, {net.n_tier2})"
+            )
+        self.link_price = check_nonnegative("link_price", self.link_price)
+        if self.link_price.ndim == 1:
+            self.link_price = np.broadcast_to(self.link_price, (T, net.n_edges)).copy()
+        if self.link_price.shape != (T, net.n_edges):
+            raise ValueError(
+                f"link_price has shape {self.link_price.shape}, "
+                f"expected ({T}, {net.n_edges})"
+            )
+        if self.tier1_price is not None:
+            self.tier1_price = check_nonnegative("tier1_price", self.tier1_price)
+            if self.tier1_price.ndim == 1:
+                self.tier1_price = np.broadcast_to(
+                    self.tier1_price, (T, net.n_tier1)
+                ).copy()
+            if self.tier1_price.shape != (T, net.n_tier1):
+                raise ValueError(
+                    f"tier1_price has shape {self.tier1_price.shape}, "
+                    f"expected ({T}, {net.n_tier1})"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """Number of time slots ``T``."""
+        return self.workload.shape[0]
+
+    def slice(self, start: int, stop: int) -> "Instance":
+        """Sub-instance over slots ``[start, stop)`` (same network).
+
+        Used by windowed controllers (FHC/RHC/RFHC/RRHC) and by the
+        experiment runner to truncate horizons.
+        """
+        if not (0 <= start < stop <= self.horizon):
+            raise ValueError(
+                f"invalid slice [{start}, {stop}) for horizon {self.horizon}"
+            )
+        return Instance(
+            network=self.network,
+            workload=self.workload[start:stop],
+            tier2_price=self.tier2_price[start:stop],
+            link_price=self.link_price[start:stop],
+            tier1_price=None
+            if self.tier1_price is None
+            else self.tier1_price[start:stop],
+        )
+
+    def with_data(
+        self,
+        workload: np.ndarray | None = None,
+        tier2_price: np.ndarray | None = None,
+        link_price: np.ndarray | None = None,
+    ) -> "Instance":
+        """Copy of the instance with some inputs replaced.
+
+        Used by predictors to substitute noisy forecasts for the truth.
+        """
+        return Instance(
+            network=self.network,
+            workload=self.workload if workload is None else workload,
+            tier2_price=self.tier2_price if tier2_price is None else tier2_price,
+            link_price=self.link_price if link_price is None else link_price,
+            tier1_price=self.tier1_price,
+        )
+
+    def total_workload(self) -> np.ndarray:
+        """Aggregate workload ``sum_j lambda_{jt}`` as a ``(T,)`` array."""
+        return self.workload.sum(axis=1)
+
+    def __repr__(self) -> str:
+        return f"Instance(T={self.horizon}, {self.network!r})"

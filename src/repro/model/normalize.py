@@ -1,0 +1,79 @@
+"""Instance normalization (the Remarks under Theorem 1).
+
+The Theorem-1 competitive ratio scales with the capacities, but the
+paper notes the inputs can always be normalized — divide workloads
+and capacities by the largest capacity so everything lies in
+``[0, 1]`` — solved in normalized units, and the decisions translated
+back by the same scale.  The cost objective is positively homogeneous
+in the resource scale, so rescaling decisions preserves optimality.
+
+:func:`normalize_instance` performs the rescaling;
+:func:`denormalize_trajectory` maps decisions back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.allocation import Trajectory
+from repro.model.instance import Instance
+from repro.model.network import Cloud, CloudNetwork, SLAEdge
+
+
+@dataclass(frozen=True)
+class NormalizedInstance:
+    """A rescaled instance plus the scale to undo it."""
+
+    instance: Instance
+    scale: float
+
+
+def normalize_instance(instance: Instance) -> NormalizedInstance:
+    """Rescale capacities and workloads by the largest capacity.
+
+    Prices are untouched: cost terms are ``price * resource``, so the
+    normalized optimal cost is the original divided by ``scale`` and
+    all cost *ratios* (including the empirical competitive ratio) are
+    invariant.
+    """
+    net = instance.network
+    scale = float(max(net.tier2_capacity.max(), net.edge_capacity.max()))
+    if scale <= 0:
+        raise ValueError("network has no positive capacity")
+
+    tier2 = [
+        Cloud(c.name, c.capacity / scale, c.recon_price, c.location)
+        for c in net.tier2_clouds
+    ]
+    tier1 = [
+        Cloud(
+            c.name,
+            c.capacity / scale if np.isfinite(c.capacity) else np.inf,
+            c.recon_price,
+            c.location,
+        )
+        for c in net.tier1_clouds
+    ]
+    edges = [
+        SLAEdge(e.tier2, e.tier1, e.capacity / scale, e.recon_price)
+        for e in net.edges
+    ]
+    scaled = Instance(
+        network=CloudNetwork(tier2, tier1, edges),
+        workload=instance.workload / scale,
+        tier2_price=instance.tier2_price,
+        link_price=instance.link_price,
+        tier1_price=instance.tier1_price,
+    )
+    return NormalizedInstance(instance=scaled, scale=scale)
+
+
+def denormalize_trajectory(trajectory: Trajectory, scale: float) -> Trajectory:
+    """Map normalized decisions back to original resource units."""
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    return Trajectory(
+        trajectory.x * scale, trajectory.y * scale, trajectory.s * scale
+    )

@@ -1,0 +1,34 @@
+"""N-tier generalization (Section III-E).
+
+The paper generalizes its model, online algorithm and competitive
+analysis to arbitrary ``N >= 2`` tiers; the supplementary file with
+the N-tier theorem is unavailable, so this package is our documented
+reconstruction (DESIGN.md §4): workloads enter at tier-1 edge clouds
+and are routed along SLA-feasible *paths* through intermediate tiers
+to a top-tier cloud; every tier-``n >= 2`` node total and every
+inter-tier link total carries an affine allocation cost and a
+``[.]^+`` reconfiguration cost, each of which the online algorithm
+replaces with a relative-entropy regularizer.
+
+With ``N = 2`` the path set equals the SLA edge set and every
+formulation here reduces exactly to the two-tier package.
+"""
+
+from repro.ntier.layered import LayeredNetwork, LayerLink
+from repro.ntier.problem import NTierInstance
+from repro.ntier.offline import solve_ntier_offline
+from repro.ntier.greedy import NTierGreedy
+from repro.ntier.online import NTierRegularizedOnline, NTierConfig
+from repro.ntier.prediction import NTierFHC, NTierRFHC
+
+__all__ = [
+    "LayeredNetwork",
+    "LayerLink",
+    "NTierInstance",
+    "solve_ntier_offline",
+    "NTierGreedy",
+    "NTierRegularizedOnline",
+    "NTierConfig",
+    "NTierFHC",
+    "NTierRFHC",
+]

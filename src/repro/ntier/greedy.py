@@ -1,0 +1,30 @@
+"""Greedy one-shot control for the N-tier problem."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ntier.offline import solve_ntier_offline
+from repro.ntier.problem import NTierInstance, NTierTrajectory
+
+
+class NTierGreedy:
+    """Per-slot one-shot optimization (reconfiguration-myopic baseline)."""
+
+    name = "ntier-greedy"
+
+    def run(self, instance: NTierInstance) -> NTierTrajectory:
+        net = instance.network
+        X_prev = np.zeros(net.n_upper_nodes)
+        Y_prev = np.zeros(net.n_links)
+        Xs, Ys, ss = [], [], []
+        for t in range(instance.horizon):
+            res = solve_ntier_offline(
+                instance.slice(t, t + 1), initial_X=X_prev, initial_Y=Y_prev
+            )
+            X_prev = res.trajectory.X[0]
+            Y_prev = res.trajectory.Y[0]
+            Xs.append(X_prev)
+            Ys.append(Y_prev)
+            ss.append(res.trajectory.s[0])
+        return NTierTrajectory(np.stack(Xs), np.stack(Ys), np.stack(ss))

@@ -1,0 +1,120 @@
+"""Offline optimum of the N-tier problem (full-horizon LP)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ntier.problem import NTierInstance, NTierTrajectory
+from repro.solvers.lp import LinearProgram
+
+
+@dataclass
+class NTierOfflineResult:
+    """Solution of the N-tier LP: trajectory + optimal objective."""
+
+    trajectory: NTierTrajectory
+    objective: float
+
+
+def solve_ntier_offline(
+    instance: NTierInstance,
+    initial_X: "np.ndarray | None" = None,
+    initial_Y: "np.ndarray | None" = None,
+    terminal_X: "np.ndarray | None" = None,
+    terminal_Y: "np.ndarray | None" = None,
+) -> NTierOfflineResult:
+    """Solve the N-tier problem over its whole horizon as a sparse LP.
+
+    Same linearization as the two-tier offline LP: increment variables
+    ``uX``/``uY`` carry the ``[.]^+`` reconfiguration terms.  Optional
+    ``terminal_X``/``terminal_Y`` pin a post-horizon state whose
+    reconfiguration from slot ``T-1`` is charged too (the N-tier
+    analogue of the pinned problem used by RFHC/RRHC).
+    """
+    if (terminal_X is None) != (terminal_Y is None):
+        raise ValueError("terminal_X and terminal_Y must be given together")
+    net = instance.network
+    T = instance.horizon
+    U, L, P, J = net.n_upper_nodes, net.n_links, net.n_paths, net.n_tier1
+    X0 = np.zeros(U) if initial_X is None else np.asarray(initial_X, float)
+    Y0 = np.zeros(L) if initial_Y is None else np.asarray(initial_Y, float)
+
+    lp = LinearProgram()
+    lp.add_block("X", T * U, lb=0.0, ub=np.tile(net.node_capacity, T),
+                 cost=instance.node_price.ravel())
+    lp.add_block("Y", T * L, lb=0.0, ub=np.tile(net.link_capacity, T),
+                 cost=instance.link_price.ravel())
+    lp.add_block("s", T * P, lb=0.0)
+    lp.add_block("uX", T * U, lb=0.0, cost=np.tile(net.node_recon_price, T))
+    lp.add_block("uY", T * L, lb=0.0, cost=np.tile(net.link_recon_price, T))
+
+    eye_T = sp.identity(T, format="csr")
+    # Coverage: origin_incidence s_t >= lambda_t.
+    lp.add_rows(
+        ">=",
+        instance.workload.ravel(),
+        s=sp.kron(eye_T, net.origin_incidence, format="csr"),
+    )
+    # Consistency: node loads <= X, link loads <= Y.
+    lp.add_rows(
+        "<=",
+        np.zeros(T * U),
+        s=sp.kron(eye_T, net.path_node_incidence.T, format="csr"),
+        X=-sp.identity(T * U, format="csr"),
+    )
+    lp.add_rows(
+        "<=",
+        np.zeros(T * L),
+        s=sp.kron(eye_T, net.path_link_incidence.T, format="csr"),
+        Y=-sp.identity(T * L, format="csr"),
+    )
+    # Increments.
+    if T == 1:
+        diff = sp.identity(1, format="csr")
+    else:
+        diff = (
+            sp.identity(T, format="csr")
+            - sp.diags([np.ones(T - 1)], [-1], shape=(T, T), format="csr")
+        ).tocsr()
+    rhs_X = np.zeros(T * U)
+    rhs_X[:U] = X0
+    rhs_Y = np.zeros(T * L)
+    rhs_Y[:L] = Y0
+    lp.add_rows(
+        "<=",
+        rhs_X,
+        X=sp.kron(diff, sp.identity(U), format="csr"),
+        uX=-sp.identity(T * U, format="csr"),
+    )
+    lp.add_rows(
+        "<=",
+        rhs_Y,
+        Y=sp.kron(diff, sp.identity(L), format="csr"),
+        uY=-sp.identity(T * L, format="csr"),
+    )
+    if terminal_X is not None:
+        terminal_X = np.asarray(terminal_X, dtype=float)
+        terminal_Y = np.asarray(terminal_Y, dtype=float)
+        lp.add_block("uX_term", U, lb=0.0, cost=net.node_recon_price)
+        lp.add_block("uY_term", L, lb=0.0, cost=net.link_recon_price)
+        selX = sp.csr_matrix(
+            (np.ones(U), (np.arange(U), np.arange((T - 1) * U, T * U))),
+            shape=(U, T * U),
+        )
+        selY = sp.csr_matrix(
+            (np.ones(L), (np.arange(L), np.arange((T - 1) * L, T * L))),
+            shape=(L, T * L),
+        )
+        # uX_term >= X_term - X_{T-1}:  -X_{T-1} - uX_term <= -X_term.
+        lp.add_rows("<=", -terminal_X, X=-selX, uX_term=-sp.identity(U, format="csr"))
+        lp.add_rows("<=", -terminal_Y, Y=-selY, uY_term=-sp.identity(L, format="csr"))
+    sol = lp.solve()
+    traj = NTierTrajectory(
+        X=np.clip(sol["X"].reshape(T, U), 0.0, None),
+        Y=np.clip(sol["Y"].reshape(T, L), 0.0, None),
+        s=np.clip(sol["s"].reshape(T, P), 0.0, None),
+    )
+    return NTierOfflineResult(trajectory=traj, objective=float(sol.objective))

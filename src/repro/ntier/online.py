@@ -1,0 +1,205 @@
+"""Regularized online algorithm for the N-tier problem.
+
+Every node total ``X_u`` (tiers 2..N) and every link total ``Y_e``
+carries a relative-entropy regularizer
+
+``(b_u / eta_u) ((X_u + eps) ln((X_u + eps)/(X̂_u + eps)) - X_u)``,
+
+``eta_u = ln(1 + C_u / eps)`` — the direct generalization of P2(t) to
+N tiers.  Per-tier hedging constraints extend (3d): for every upper
+node ``u`` in tier ``n``, the *other* clouds of tier ``n`` must be
+able to absorb the workload overflow ``[Lambda_t - C_u]^+`` (link
+hedging (3e) has no single natural N-tier analogue and is part of the
+two-tier package only; see DESIGN.md §4).
+
+The reconstructed competitive ratio is
+:func:`repro.core.competitive.ntier_ratio`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ntier.layered import LayeredNetwork
+from repro.ntier.problem import NTierInstance, NTierTrajectory
+from repro.solvers.convex import (
+    EntropicTerm,
+    SeparableObjective,
+    SmoothConvexProgram,
+    SolverOptions,
+)
+
+
+@dataclass
+class NTierConfig:
+    """Parameters of the N-tier regularized online algorithm."""
+
+    epsilon: float = 1e-2
+    epsilon_prime: "float | None" = None
+    hedging: bool = True
+    solver: SolverOptions = field(default_factory=SolverOptions)
+
+    def __post_init__(self) -> None:
+        if not (self.epsilon > 0):
+            raise ValueError("epsilon must be > 0")
+
+    @property
+    def eps2(self) -> float:
+        return self.epsilon if self.epsilon_prime is None else self.epsilon_prime
+
+
+@dataclass
+class NTierState:
+    """Online state: the previous slot's totals (anchors the regularizers)."""
+
+    X: np.ndarray
+    Y: np.ndarray
+
+    @classmethod
+    def zeros(cls, network: LayeredNetwork) -> "NTierState":
+        return cls(np.zeros(network.n_upper_nodes), np.zeros(network.n_links))
+
+
+class NTierSubproblem:
+    """Reusable per-slot regularized subproblem for a layered network."""
+
+    def __init__(self, network: LayeredNetwork, config: NTierConfig) -> None:
+        self.network = network
+        self.config = config
+        U, L, P = network.n_upper_nodes, network.n_links, network.n_paths
+        self.n_vars = U + L + P
+        self.sl_X = slice(0, U)
+        self.sl_Y = slice(U, U + L)
+        self.sl_s = slice(U + L, U + L + P)
+
+        self.eta_node = np.log1p(network.node_capacity / config.epsilon)
+        self.eta_link = np.log1p(network.link_capacity / config.eps2)
+        self.w_node = network.node_recon_price / self.eta_node
+        self.w_link = network.link_recon_price / self.eta_link
+
+        self._rows_cov, self._rows_node, self._rows_link = self._static_rows()
+        self._hedge = self._hedge_rows() if config.hedging else None
+        self.lb = np.zeros(self.n_vars)
+        self.ub = np.concatenate(
+            [network.node_capacity, network.link_capacity, np.full(P, np.inf)]
+        )
+
+    def _static_rows(self):
+        net = self.network
+        U, L, P = net.n_upper_nodes, net.n_links, net.n_paths
+        rows_cov = sp.hstack(
+            [sp.csr_matrix((net.n_tier1, U + L)), -net.origin_incidence],
+            format="csr",
+        )
+        rows_node = sp.hstack(
+            [-sp.identity(U, format="csr"), sp.csr_matrix((U, L)),
+             net.path_node_incidence.T],
+            format="csr",
+        )
+        rows_link = sp.hstack(
+            [sp.csr_matrix((L, U)), -sp.identity(L, format="csr"),
+             net.path_link_incidence.T],
+            format="csr",
+        )
+        return rows_cov, rows_node, rows_link
+
+    def _hedge_rows(self):
+        """Per-tier all-but-one selection over flattened upper nodes."""
+        net = self.network
+        U, L, P = net.n_upper_nodes, net.n_links, net.n_paths
+        blocks = []
+        for tier_idx in range(len(net.node_tier_offsets)):
+            size = len(net.tiers[tier_idx + 1])
+            blocks.append(np.ones((size, size)) - np.eye(size))
+        sel = sp.block_diag(blocks, format="csr")  # (U, U)
+        return sp.hstack(
+            [-sel, sp.csr_matrix((U, L)), sp.csr_matrix((U, P))], format="csr"
+        )
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        workload: np.ndarray,
+        node_price: np.ndarray,
+        link_price: np.ndarray,
+        state: NTierState,
+        warm: "np.ndarray | None" = None,
+    ) -> "tuple[NTierState, np.ndarray, np.ndarray]":
+        """One regularized slot; returns (new state, s, reduced v)."""
+        net = self.network
+        cfg = self.config
+        U, L, P = net.n_upper_nodes, net.n_links, net.n_paths
+        lam = np.asarray(workload, dtype=float)
+
+        linear = np.concatenate([node_price, link_price, np.zeros(P)])
+        entropic = [
+            EntropicTerm(np.arange(U), self.w_node, cfg.epsilon, state.X),
+            EntropicTerm(np.arange(U, U + L), self.w_link, cfg.eps2, state.Y),
+        ]
+        objective = SeparableObjective(self.n_vars, linear, entropic)
+
+        A_parts = [self._rows_cov, self._rows_node, self._rows_link]
+        b_parts = [-lam, np.zeros(U), np.zeros(L)]
+        if self._hedge is not None:
+            rhs = np.maximum(float(lam.sum()) - net.node_capacity, 0.0)
+            keep = rhs > 0
+            if np.any(keep):
+                A_parts.append(self._hedge[keep])
+                b_parts.append(-rhs[keep])
+        prog = SmoothConvexProgram(
+            objective,
+            sp.vstack(A_parts, format="csr"),
+            np.concatenate(b_parts),
+            self.lb,
+            self.ub,
+        )
+        v0 = None
+        if warm is not None:
+            if prog.A.shape[0]:
+                slack = prog.b - prog.A @ warm
+                ok = slack.size == 0 or float(slack.min()) > 1e-12
+            else:  # pragma: no cover
+                ok = True
+            if ok and np.all(warm - prog.lb > 0) and np.all(prog.ub - warm > 0):
+                v0 = warm
+        v = prog.solve(v0=v0, options=cfg.solver)
+        new_state = NTierState(
+            X=np.clip(v[self.sl_X], 0.0, net.node_capacity),
+            Y=np.clip(v[self.sl_Y], 0.0, net.link_capacity),
+        )
+        s = np.clip(v[self.sl_s], 0.0, None)
+        return new_state, s, v
+
+
+class NTierRegularizedOnline:
+    """Chain of regularized per-slot subproblems over (X, Y, s)."""
+
+    name = "ntier-regularized-online"
+
+    def __init__(self, config: "NTierConfig | None" = None) -> None:
+        self.config = config or NTierConfig()
+
+    def make_subproblem(self, instance: NTierInstance) -> NTierSubproblem:
+        return NTierSubproblem(instance.network, self.config)
+
+    def run(self, instance: NTierInstance) -> NTierTrajectory:
+        """Run the online loop over the whole horizon."""
+        sub = self.make_subproblem(instance)
+        state = NTierState.zeros(instance.network)
+        warm = None
+        Xs, Ys, ss = [], [], []
+        for t in range(instance.horizon):
+            state, s_t, warm = sub.solve(
+                instance.workload[t],
+                instance.node_price[t],
+                instance.link_price[t],
+                state,
+                warm=warm,
+            )
+            Xs.append(state.X.copy())
+            Ys.append(state.Y.copy())
+            ss.append(s_t)
+        return NTierTrajectory(np.stack(Xs), np.stack(Ys), np.stack(ss))

@@ -1,0 +1,139 @@
+"""Predictive control for the N-tier problem (extension).
+
+The paper states its Section-IV control algorithms for the general
+problem; this module provides the N-tier instantiations with exact
+foresight (forecast oracles for layered instances are a thin wrapper —
+the controllers accept any callable ``forecast(t, w) -> NTierInstance``
+for noisy settings):
+
+* :class:`NTierFHC` — fixed-horizon control (the standard baseline);
+* :class:`NTierRFHC` — the regularized version: window endpoints are
+  pinned to the N-tier regularized chain, so the cost is bounded by
+  the prediction-free N-tier online algorithm's (the Theorem-4
+  argument is structure-agnostic: it only needs the pinned problem to
+  be optimal between chain states).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ntier.offline import solve_ntier_offline
+from repro.ntier.online import NTierConfig, NTierState, NTierSubproblem
+from repro.ntier.problem import NTierInstance, NTierTrajectory
+
+ForecastFn = "Callable[[int, int], NTierInstance] | None"
+
+
+def _exact_forecast(instance: NTierInstance) -> "Callable[[int, int], NTierInstance]":
+    def forecast(t: int, w: int) -> NTierInstance:
+        return instance.slice(t, min(t + w, instance.horizon))
+
+    return forecast
+
+
+class NTierFHC:
+    """Fixed Horizon Control on a layered instance."""
+
+    name = "ntier-fhc"
+
+    def __init__(self, window: int, forecast: ForecastFn = None) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.forecast = forecast
+
+    def run(self, instance: NTierInstance) -> NTierTrajectory:
+        forecast = self.forecast or _exact_forecast(instance)
+        net = instance.network
+        X_prev = np.zeros(net.n_upper_nodes)
+        Y_prev = np.zeros(net.n_links)
+        Xs, Ys, ss = [], [], []
+        for start in range(0, instance.horizon, self.window):
+            window = forecast(start, self.window)
+            res = solve_ntier_offline(window, initial_X=X_prev, initial_Y=Y_prev)
+            Xs.append(res.trajectory.X)
+            Ys.append(res.trajectory.Y)
+            ss.append(res.trajectory.s)
+            X_prev = res.trajectory.X[-1]
+            Y_prev = res.trajectory.Y[-1]
+        return NTierTrajectory(np.vstack(Xs), np.vstack(Ys), np.vstack(ss))
+
+
+class NTierRFHC:
+    """Regularized Fixed Horizon Control on a layered instance.
+
+    Extends the regularized chain through each block with forecast
+    data, pins the block's last slot to the chain value, and exactly
+    re-optimizes the interior (reconfiguration into the pinned
+    terminal included).
+    """
+
+    name = "ntier-rfhc"
+
+    def __init__(
+        self,
+        window: int,
+        config: "NTierConfig | None" = None,
+        forecast: ForecastFn = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.config = config or NTierConfig()
+        self.forecast = forecast
+
+    def run(self, instance: NTierInstance) -> NTierTrajectory:
+        forecast = self.forecast or _exact_forecast(instance)
+        net = instance.network
+        sub = NTierSubproblem(net, self.config)
+
+        # The regularized chain, extended lazily with forecast data.
+        chain_states: list[NTierState] = []
+        chain_s: list[np.ndarray] = []
+        chain_state = NTierState.zeros(net)
+        warm = None
+
+        def extend_chain(upto: int) -> None:
+            nonlocal chain_state, warm
+            while len(chain_states) <= upto:
+                tau = len(chain_states)
+                one = forecast(tau, 1)
+                chain_state, s_t, warm = sub.solve(
+                    one.workload[0],
+                    one.node_price[0],
+                    one.link_price[0],
+                    chain_state,
+                    warm=warm,
+                )
+                chain_states.append(chain_state)
+                chain_s.append(s_t)
+
+        X_prev = np.zeros(net.n_upper_nodes)
+        Y_prev = np.zeros(net.n_links)
+        Xs, Ys, ss = [], [], []
+        T = instance.horizon
+        for start in range(0, T, self.window):
+            stop = min(start + self.window, T)
+            terminal_slot = stop - 1
+            extend_chain(terminal_slot)
+            terminal = chain_states[terminal_slot]
+            if terminal_slot > start:
+                window = forecast(start, terminal_slot - start)
+                res = solve_ntier_offline(
+                    window,
+                    initial_X=X_prev,
+                    initial_Y=Y_prev,
+                    terminal_X=terminal.X,
+                    terminal_Y=terminal.Y,
+                )
+                Xs.append(res.trajectory.X)
+                Ys.append(res.trajectory.Y)
+                ss.append(res.trajectory.s)
+            Xs.append(terminal.X[None, :])
+            Ys.append(terminal.Y[None, :])
+            ss.append(chain_s[terminal_slot][None, :])
+            X_prev, Y_prev = terminal.X, terminal.Y
+        return NTierTrajectory(np.vstack(Xs), np.vstack(Ys), np.vstack(ss))

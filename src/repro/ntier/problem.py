@@ -1,0 +1,142 @@
+"""N-tier problem instance and cost evaluation.
+
+Decisions live in totals space: ``X`` over flattened upper nodes
+(tiers 2..N), ``Y`` over links, ``s`` over service paths.  The cost is
+
+.. math::
+
+    \\sum_t \\Big( \\sum_u a_{ut} X_{ut} + \\sum_e c_{et} Y_{et}
+    + \\sum_u b_u [X_{ut} - X_{u,t-1}]^+
+    + \\sum_e d_e [Y_{et} - Y_{e,t-1}]^+ \\Big)
+
+subject to per-origin coverage ``sum_{p in P_j} s_p >= lambda_j``,
+consistency ``sum_{p ni u} s_p <= X_u``, ``sum_{p ni e} s_p <= Y_e``
+and capacities.  With ``N = 2`` this is precisely problem P1 in the
+reduced (totals) variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ntier.layered import LayeredNetwork
+from repro.util.validation import check_nonnegative
+
+
+@dataclass
+class NTierTrajectory:
+    """Decisions over time: ``X (T, U)``, ``Y (T, L)``, ``s (T, P)``."""
+
+    X: np.ndarray
+    Y: np.ndarray
+    s: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.X = check_nonnegative("X", np.atleast_2d(self.X))
+        self.Y = check_nonnegative("Y", np.atleast_2d(self.Y))
+        self.s = check_nonnegative("s", np.atleast_2d(self.s))
+        if not (self.X.shape[0] == self.Y.shape[0] == self.s.shape[0]):
+            raise ValueError("X/Y/s horizons differ")
+
+    @property
+    def horizon(self) -> int:
+        return self.X.shape[0]
+
+
+@dataclass
+class NTierInstance:
+    """Inputs of the N-tier problem.
+
+    Parameters
+    ----------
+    network:
+        The layered topology.
+    workload:
+        ``(T, J)`` demand at tier-1 clouds.
+    node_price:
+        ``(T, U)`` allocation price per flattened upper node, or
+        ``(U,)`` static.
+    link_price:
+        ``(T, L)`` or ``(L,)`` allocation price per link.
+    """
+
+    network: LayeredNetwork
+    workload: np.ndarray
+    node_price: np.ndarray
+    link_price: np.ndarray
+
+    def __post_init__(self) -> None:
+        net = self.network
+        self.workload = check_nonnegative("workload", np.atleast_2d(self.workload))
+        T = self.workload.shape[0]
+        if self.workload.shape != (T, net.n_tier1):
+            raise ValueError("workload shape mismatch")
+        self.node_price = check_nonnegative("node_price", self.node_price)
+        if self.node_price.ndim == 1:
+            self.node_price = np.broadcast_to(
+                self.node_price, (T, net.n_upper_nodes)
+            ).copy()
+        if self.node_price.shape != (T, net.n_upper_nodes):
+            raise ValueError("node_price shape mismatch")
+        self.link_price = check_nonnegative("link_price", self.link_price)
+        if self.link_price.ndim == 1:
+            self.link_price = np.broadcast_to(self.link_price, (T, net.n_links)).copy()
+        if self.link_price.shape != (T, net.n_links):
+            raise ValueError("link_price shape mismatch")
+
+    @property
+    def horizon(self) -> int:
+        return self.workload.shape[0]
+
+    def slice(self, start: int, stop: int) -> "NTierInstance":
+        if not (0 <= start < stop <= self.horizon):
+            raise ValueError("bad slice")
+        return NTierInstance(
+            self.network,
+            self.workload[start:stop],
+            self.node_price[start:stop],
+            self.link_price[start:stop],
+        )
+
+    # ------------------------------------------------------------------
+    def cost(
+        self,
+        traj: NTierTrajectory,
+        initial_X: "np.ndarray | None" = None,
+        initial_Y: "np.ndarray | None" = None,
+    ) -> float:
+        """Total allocation + reconfiguration cost of a trajectory."""
+        net = self.network
+        if traj.horizon != self.horizon:
+            raise ValueError("trajectory/instance horizon mismatch")
+        X0 = np.zeros(net.n_upper_nodes) if initial_X is None else initial_X
+        Y0 = np.zeros(net.n_links) if initial_Y is None else initial_Y
+        alloc = float(
+            np.einsum("tu,tu->", self.node_price, traj.X)
+            + np.einsum("te,te->", self.link_price, traj.Y)
+        )
+        dX = np.maximum(np.diff(np.vstack([X0[None, :], traj.X]), axis=0), 0.0)
+        dY = np.maximum(np.diff(np.vstack([Y0[None, :], traj.Y]), axis=0), 0.0)
+        recon = float(dX.sum(axis=0) @ net.node_recon_price
+                      + dY.sum(axis=0) @ net.link_recon_price)
+        return alloc + recon
+
+    def check_feasible(self, traj: NTierTrajectory, tol: float = 1e-6) -> bool:
+        """Verify coverage, consistency and capacity constraints."""
+        net = self.network
+        cov = (net.origin_incidence @ traj.s.T).T  # (T, J)
+        if np.any(cov < self.workload - tol * (1 + np.abs(self.workload))):
+            return False
+        node_load = (net.path_node_incidence.T @ traj.s.T).T  # (T, U)
+        if np.any(node_load > traj.X + tol * (1 + traj.X)):
+            return False
+        link_load = (net.path_link_incidence.T @ traj.s.T).T
+        if np.any(link_load > traj.Y + tol * (1 + traj.Y)):
+            return False
+        if np.any(traj.X > net.node_capacity[None, :] * (1 + tol)):
+            return False
+        if np.any(traj.Y > net.link_capacity[None, :] * (1 + tol)):
+            return False
+        return True

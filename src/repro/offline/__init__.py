@@ -1,0 +1,15 @@
+"""Offline and one-shot optimization of problem P1.
+
+* :mod:`repro.offline.optimal` — the full-horizon LP (offline optimum)
+  with optional pinned terminal state, reversed reconfiguration
+  charging, and per-variable lower bounds.  This single formulation
+  also powers FHC/RHC windows, the RFHC/RRHC pinned problems, and the
+  LCP-M prefix problems.
+* :mod:`repro.offline.greedy` — the sequence of greedy one-shot
+  optimizations (the paper's prediction-free baseline).
+"""
+
+from repro.offline.optimal import OfflineResult, solve_offline
+from repro.offline.greedy import GreedyOneShot
+
+__all__ = ["OfflineResult", "solve_offline", "GreedyOneShot"]

@@ -1,0 +1,39 @@
+"""The sequence of greedy one-shot optimizations (Section V-A).
+
+At every slot the controller solves the one-shot slice of P1 — the LP
+over that single slot, charging reconfiguration from the previously
+applied decision — and applies the result.  This is the myopic
+baseline the paper compares against (and, per Theorem 2, it can be
+arbitrarily worse than the offline optimum on V-shaped workloads).
+It is also exactly FHC/RHC with window length 1.
+"""
+
+from __future__ import annotations
+
+from repro.model.allocation import Allocation, Trajectory
+from repro.model.instance import Instance
+from repro.offline.optimal import solve_offline
+
+
+class GreedyOneShot:
+    """Greedy control: per-slot one-shot optimization of P1."""
+
+    name = "greedy-one-shot"
+
+    def step(self, instance: Instance, t: int, previous: Allocation) -> Allocation:
+        """Solve the one-shot slice of P1 at slot ``t``."""
+        result = solve_offline(instance.slice(t, t + 1), initial=previous)
+        return result.trajectory.step(0)
+
+    def run(
+        self,
+        instance: Instance,
+        initial: "Allocation | None" = None,
+    ) -> Trajectory:
+        """Run greedy control over the whole horizon."""
+        prev = initial or Allocation.zeros(instance.network.n_edges)
+        steps: list[Allocation] = []
+        for t in range(instance.horizon):
+            prev = self.step(instance, t, prev)
+            steps.append(prev)
+        return Trajectory.from_steps(steps)

@@ -1,0 +1,183 @@
+"""Full-horizon linear program for problem P1.
+
+P1 is an LP once the ``[.]^+`` reconfiguration terms are linearized
+with auxiliary increment variables (``u_{it}`` for tier-2 clouds,
+``w_{et}`` for links):
+
+.. math::
+
+    \\min \\sum_t \\Big( \\sum_e a_{i(e)t} x_{et} + \\sum_e c_{et} y_{et}
+        + \\sum_i b_i u_{it} + \\sum_e d_e w_{et} \\Big)
+
+subject to the covering, capacity and increment constraints.  The same
+builder also supports:
+
+* ``initial`` — the allocation at slot ``-1`` whose increase into slot
+  0 is charged (default all-zero, as in the paper);
+* ``terminal`` — an optional *pinned* final state: the reconfiguration
+  from slot ``T-1`` into ``terminal`` is charged too (this is the
+  problem ``P1(x_{tau-1}; ...; x_kappa)`` used by RFHC/RRHC);
+* ``charge_decrease`` — charge reconfiguration on *decreases* instead
+  of increases (the time-reversed problem used by LCP-M);
+* ``lower`` — per-variable lower bounds on ``(x, y, s)`` (used for
+  minimal-cost "top-up" repair of decisions planned from noisy
+  predictions).
+
+Matrices are assembled once with Kronecker products — no Python loops
+over slots or edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.model.allocation import Allocation, Trajectory
+from repro.model.instance import Instance
+from repro.solvers.lp import LinearProgram
+
+
+@dataclass
+class OfflineResult:
+    """Solution of the multi-slot LP.
+
+    ``objective`` includes the charged reconfiguration into the pinned
+    terminal when one is given (but not the terminal slot's allocation
+    cost, which is fixed by the caller).
+    """
+
+    trajectory: Trajectory
+    objective: float
+
+
+def _difference_operator(T: int) -> sp.csr_matrix:
+    """The ``(T, T)`` first-difference matrix ``(I - S)`` with subdiagonal shift S."""
+    eye = sp.identity(T, format="csr")
+    if T == 1:
+        return eye
+    shift = sp.diags([np.ones(T - 1)], [-1], shape=(T, T), format="csr")
+    return (eye - shift).tocsr()
+
+
+def solve_offline(
+    instance: Instance,
+    initial: "Allocation | None" = None,
+    terminal: "Allocation | None" = None,
+    charge_decrease: bool = False,
+    lower: "Trajectory | None" = None,
+) -> OfflineResult:
+    """Solve P1 over the instance's whole horizon as a sparse LP.
+
+    Parameters
+    ----------
+    instance:
+        Inputs over ``T`` slots.
+    initial:
+        Allocation at slot ``-1`` (defaults to zero).
+    terminal:
+        Optional pinned state after slot ``T-1``; its reconfiguration
+        cost is included in the objective.
+    charge_decrease:
+        Charge ``[prev - cur]^+`` instead of ``[cur - prev]^+``
+        (LCP-M's time-reversed problem).
+    lower:
+        Optional per-slot lower bounds for ``x``, ``y`` and ``s``
+        (shape-compatible :class:`Trajectory`); used to force planned
+        allocations to only be topped up, never released.
+    """
+    net = instance.network
+    T = instance.horizon
+    n_i, n_e = net.n_tier2, net.n_edges
+    MI, MJ = net.tier2_incidence, net.tier1_incidence
+    eye_T = sp.identity(T, format="csr")
+    eye_E = sp.identity(n_e, format="csr")
+    eye_I = sp.identity(n_i, format="csr")
+    diff = _difference_operator(T)
+
+    X0 = np.zeros(n_i)
+    y0 = np.zeros(n_e)
+    if initial is not None:
+        X0 = initial.tier2_totals(net)
+        y0 = np.asarray(initial.y, dtype=float)
+
+    lb_x = np.zeros(T * n_e)
+    lb_y = np.zeros(T * n_e)
+    lb_s = np.zeros(T * n_e)
+    if lower is not None:
+        if lower.horizon != T or lower.n_edges != n_e:
+            raise ValueError("lower bounds trajectory has wrong shape")
+        lb_x = lower.x.ravel()
+        lb_y = lower.y.ravel()
+        lb_s = lower.s.ravel()
+
+    lp = LinearProgram()
+    # Allocation cost on x is a_{i(e)t}; on y it is c_{et}.
+    cost_x = instance.tier2_price[:, net.edge_i].ravel()
+    cost_y = instance.link_price.ravel()
+    lp.add_block("x", T * n_e, lb=lb_x, cost=cost_x)
+    lp.add_block("y", T * n_e, lb=lb_y,
+                 ub=np.tile(net.edge_capacity, T), cost=cost_y)
+    lp.add_block("s", T * n_e, lb=lb_s)
+    lp.add_block("u", T * n_i, lb=0.0, cost=np.tile(net.tier2_recon_price, T))
+    lp.add_block("w", T * n_e, lb=0.0, cost=np.tile(net.edge_recon_price, T))
+
+    big_eye = sp.identity(T * n_e, format="csr")
+    # (2a) s <= x ; (2b) s <= y.
+    lp.add_rows("<=", np.zeros(T * n_e), s=big_eye, x=-big_eye)
+    lp.add_rows("<=", np.zeros(T * n_e), s=big_eye, y=-big_eye)
+    # (2d) coverage.
+    cov = sp.kron(eye_T, MJ, format="csr")
+    lp.add_rows(">=", instance.workload.ravel(), s=cov)
+    # (1b) tier-2 capacity.
+    cap = sp.kron(eye_T, MI, format="csr")
+    lp.add_rows("<=", np.tile(net.tier2_capacity, T), x=cap)
+
+    # Reconfiguration increments.
+    Lx = sp.kron(diff, MI, format="csr")  # (T*I, T*E): X_t - X_{t-1}
+    Ly = sp.kron(diff, eye_E, format="csr")  # (T*E, T*E): y_t - y_{t-1}
+    rhs_x = np.zeros(T * n_i)
+    rhs_x[:n_i] = X0
+    rhs_y = np.zeros(T * n_e)
+    rhs_y[:n_e] = y0
+    u_eye = sp.identity(T * n_i, format="csr")
+    w_eye = sp.identity(T * n_e, format="csr")
+    if not charge_decrease:
+        # u_t >= X_t - X_{t-1}:  Lx x - u <= rhs_x.
+        lp.add_rows("<=", rhs_x, x=Lx, u=-u_eye)
+        lp.add_rows("<=", rhs_y, y=Ly, w=-w_eye)
+    else:
+        # u_t >= X_{t-1} - X_t:  -Lx x - u <= -rhs_x.
+        lp.add_rows("<=", -rhs_x, x=-Lx, u=-u_eye)
+        lp.add_rows("<=", -rhs_y, y=-Ly, w=-w_eye)
+
+    extra_cost = 0.0
+    if terminal is not None:
+        X_term = terminal.tier2_totals(net)
+        y_term = np.asarray(terminal.y, dtype=float)
+        lp.add_block("u_term", n_i, lb=0.0, cost=net.tier2_recon_price)
+        lp.add_block("w_term", n_e, lb=0.0, cost=net.edge_recon_price)
+        # Select slot T-1 columns of x / y.
+        sel = sp.csr_matrix(
+            (np.ones(n_e), (np.arange(n_e), np.arange((T - 1) * n_e, T * n_e))),
+            shape=(n_e, T * n_e),
+        )
+        if not charge_decrease:
+            # u_term >= X_term - X_{T-1}: -M_I x_{T-1} - u_term <= -X_term.
+            lp.add_rows("<=", -X_term, x=-(MI @ sel), u_term=-eye_I)
+            lp.add_rows("<=", -y_term, y=-sel, w_term=-eye_E)
+        else:
+            lp.add_rows("<=", X_term, x=MI @ sel, u_term=-eye_I)
+            lp.add_rows("<=", y_term, y=sel, w_term=-eye_E)
+
+    sol = lp.solve()
+    x = sol["x"].reshape(T, n_e)
+    y = sol["y"].reshape(T, n_e)
+    s = sol["s"].reshape(T, n_e)
+    # Clean tiny LP round-off so downstream feasibility checks are exact.
+    s = np.clip(s, 0.0, None)
+    x = np.maximum(np.clip(x, 0.0, None), s)
+    y = np.maximum(np.clip(y, 0.0, None), s)
+    traj = Trajectory(x, y, s)
+    return OfflineResult(trajectory=traj, objective=float(sol.objective) + extra_cost)

@@ -1,0 +1,40 @@
+"""Prediction-based control (Section IV).
+
+* :mod:`repro.prediction.predictors` — exact and Gaussian-noise
+  forecast oracles for the workload and tier-2 operating prices;
+* :mod:`repro.prediction.fhc` / :mod:`repro.prediction.rhc` — the
+  standard Fixed / Receding Horizon Control baselines;
+* :mod:`repro.prediction.rfhc` / :mod:`repro.prediction.rrhc` — the
+  paper's regularized control algorithms, which pin window endpoints
+  to the prediction-free regularized chain and therefore inherit its
+  competitive ratio (Theorem 4);
+* :mod:`repro.prediction.repair` — minimal-cost top-up applied when a
+  decision planned from noisy forecasts undershoots the realized
+  workload (SLA compliance for all controllers alike).
+"""
+
+from repro.prediction.predictors import (
+    DecayingAccuracyPredictor,
+    ExactPredictor,
+    GaussianNoisePredictor,
+    Predictor,
+)
+from repro.prediction.afhc import AveragingFixedHorizonControl
+from repro.prediction.fhc import FixedHorizonControl
+from repro.prediction.rhc import RecedingHorizonControl
+from repro.prediction.rfhc import RegularizedFixedHorizonControl
+from repro.prediction.rrhc import RegularizedRecedingHorizonControl
+from repro.prediction.repair import topup_repair
+
+__all__ = [
+    "Predictor",
+    "ExactPredictor",
+    "GaussianNoisePredictor",
+    "DecayingAccuracyPredictor",
+    "AveragingFixedHorizonControl",
+    "FixedHorizonControl",
+    "RecedingHorizonControl",
+    "RegularizedFixedHorizonControl",
+    "RegularizedRecedingHorizonControl",
+    "topup_repair",
+]

@@ -1,0 +1,62 @@
+"""The shared regularized chain used by RFHC and RRHC.
+
+Both regularized controllers maintain the same object: the sequence of
+regularized subproblem solutions ``{x~_1, x~_2, ...}`` that the
+prediction-free online algorithm would produce, computed with
+*forecast* data as each slot first enters a prediction window.  The
+controllers pin their window endpoints to this chain, which is what
+makes their cost provably no larger than the online algorithm's
+(Lemma 3 / Theorem 4).
+"""
+
+from __future__ import annotations
+
+from repro.core.subproblem import RegularizedSubproblem, SubproblemConfig
+from repro.model.allocation import Allocation
+from repro.model.instance import Instance
+from repro.prediction.predictors import Predictor
+
+
+class RegularizedChain:
+    """Lazily-extended chain of P2(t) solutions under forecast data."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        config: SubproblemConfig,
+        predictor: Predictor,
+        initial: "Allocation | None" = None,
+    ) -> None:
+        self.instance = instance
+        self.predictor = predictor
+        self.subproblem = RegularizedSubproblem(instance.network, config)
+        self.initial = initial or Allocation.zeros(instance.network.n_edges)
+        self.entries: list[Allocation] = []
+        self._warm = None  # previous reduced solution (speeds the barrier)
+
+    def extend_to(self, slot: int) -> None:
+        """Ensure chain entries exist for every slot ``<= slot``.
+
+        Each missing slot ``tau`` is solved from the chain state at
+        ``tau - 1`` using the forecast of slot ``tau`` (a one-slot
+        predictor window — with a frozen noisy predictor this equals
+        the forecast made when ``tau`` first became visible).
+        """
+        if slot >= self.instance.horizon:
+            raise ValueError(f"slot {slot} beyond horizon {self.instance.horizon}")
+        while len(self.entries) <= slot:
+            tau = len(self.entries)
+            prev = self.entries[-1] if self.entries else self.initial
+            forecast = self.predictor.window(self.instance, tau, 1)
+            alloc, self._warm = self.subproblem.solve_reduced(
+                workload=forecast.workload[0],
+                tier2_price=forecast.tier2_price[0],
+                link_price=forecast.link_price[0],
+                previous=prev,
+                warm=self._warm,
+            )
+            self.entries.append(alloc)
+
+    def __getitem__(self, slot: int) -> Allocation:
+        self.extend_to(slot)
+        return self.entries[slot]

@@ -1,0 +1,48 @@
+"""FHC — Fixed Horizon Control (Section IV-A).
+
+At slots ``t = 0, w, 2w, ...`` the controller solves P1 over the
+prediction window ``[t, t+w)`` (forecast data) given the previously
+applied decision, and applies the whole block.  With ``w = 1`` this is
+exactly greedy one-shot control.  Theorem 3: when the prediction
+window is shorter than the workload's ramp-down phases, FHC's cost can
+be arbitrarily larger than the offline optimum.
+"""
+
+from __future__ import annotations
+
+from repro.model.allocation import Allocation, Trajectory
+from repro.model.instance import Instance
+from repro.offline.optimal import solve_offline
+from repro.prediction.predictors import ExactPredictor, Predictor
+from repro.prediction.repair import topup_repair
+
+
+class FixedHorizonControl:
+    """Standard FHC with pluggable forecast oracle."""
+
+    name = "fhc"
+
+    def __init__(self, window: int, predictor: "Predictor | None" = None) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.predictor = predictor or ExactPredictor()
+
+    def run(
+        self,
+        instance: Instance,
+        initial: "Allocation | None" = None,
+    ) -> Trajectory:
+        """Run FHC over the whole horizon (true costs, repaired SLA)."""
+        self.predictor.reset()
+        prev = initial or Allocation.zeros(instance.network.n_edges)
+        steps: list[Allocation] = []
+        T = instance.horizon
+        for start in range(0, T, self.window):
+            forecast = self.predictor.window(instance, start, self.window)
+            plan = solve_offline(forecast, initial=prev).trajectory
+            for k in range(forecast.horizon):
+                applied = topup_repair(instance, start + k, plan.step(k), prev)
+                steps.append(applied)
+                prev = applied
+        return Trajectory.from_steps(steps)

@@ -1,0 +1,179 @@
+"""Forecast oracles for workloads and operating prices.
+
+The paper's prediction model (Section V-B): at slot ``t`` the
+controller receives predictions of the operating prices ``a_it`` and
+workloads ``lambda_jt`` for the ``w`` slots ``{t, ..., t+w-1}``.
+Noisy predictions add zero-mean Gaussian noise whose standard
+deviation is a percentage (the *prediction error*) of the time-mean of
+the corresponding series.
+
+Predictions are clipped into the feasible region of the instance
+(non-negative prices; workloads within the capacity envelope) so the
+planning subproblems remain well posed — a forecast that exceeds
+physical capacity carries no extra information for the controller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.instance import Instance
+from repro.util.rng import as_generator
+
+
+class Predictor:
+    """Base predictor: exposes the true window (exact oracle semantics).
+
+    Subclasses override :meth:`window` to perturb the returned data.
+    A window request past the horizon end is truncated.
+    """
+
+    def window(self, instance: Instance, t: int, w: int) -> Instance:
+        """Predicted sub-instance over slots ``[t, min(t+w, T))``."""
+        stop = min(t + w, instance.horizon)
+        return instance.slice(t, stop)
+
+    def reset(self) -> None:
+        """Reset internal state before a fresh run (no-op by default)."""
+
+
+class ExactPredictor(Predictor):
+    """Perfect foresight over the prediction window."""
+
+    name = "exact"
+
+
+class GaussianNoisePredictor(Predictor):
+    """Gaussian forecast noise calibrated to the series means.
+
+    Parameters
+    ----------
+    error_rate:
+        Noise standard deviation as a fraction of each series'
+        time-mean (the paper varies this up to 0.15).
+    seed:
+        RNG seed; each :meth:`reset` re-derives the stream so repeated
+        runs of a controller see identical forecasts.
+    frozen:
+        When true (default), the forecast for a given slot is drawn
+        once and cached, so a slot re-predicted at a later decision
+        time returns the same values (consistent forecasts); when
+        false, every call draws fresh noise.
+    """
+
+    name = "gaussian"
+
+    def __init__(self, error_rate: float, seed=0, frozen: bool = True) -> None:
+        if error_rate < 0:
+            raise ValueError("error_rate must be >= 0")
+        self.error_rate = float(error_rate)
+        self._seed = seed
+        self.frozen = frozen
+        self.reset()
+
+    def reset(self) -> None:
+        # An int/None seed re-derives an identical stream; passing a
+        # Generator shares state and makes reset a cache-clear only.
+        self._rng = as_generator(self._seed)
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def _noisy_slot(self, instance: Instance, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """Forecast (workload, tier2_price) for one slot, cached when frozen."""
+        if self.frozen and t in self._cache:
+            return self._cache[t]
+        lam_mean = instance.workload.mean(axis=0)
+        price_mean = instance.tier2_price.mean(axis=0)
+        lam = instance.workload[t] + self._rng.normal(
+            0.0, self.error_rate * lam_mean
+        )
+        price = instance.tier2_price[t] + self._rng.normal(
+            0.0, self.error_rate * price_mean
+        )
+        lam, price = self._clip_feasible(instance, lam, price)
+        if self.frozen:
+            self._cache[t] = (lam, price)
+        return lam, price
+
+    def _clip_feasible(
+        self, instance: Instance, lam: np.ndarray, price: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        net = instance.network
+        price = np.maximum(price, 0.0)
+        lam = np.maximum(lam, 0.0)
+        # Per-cloud: within the SLA link-capacity envelope.
+        link_sum = net.aggregate_tier1(net.edge_capacity)
+        lam = np.minimum(lam, link_sum * (1.0 - 1e-9))
+        fin = np.isfinite(net.tier1_capacity)
+        lam[fin] = np.minimum(lam[fin], net.tier1_capacity[fin])
+        # Aggregate: within total tier-2 capacity.
+        total_cap = float(net.tier2_capacity.sum())
+        total = float(lam.sum())
+        if total > total_cap:
+            lam = lam * (total_cap * (1.0 - 1e-9) / total)
+        return lam, price
+
+    def window(self, instance: Instance, t: int, w: int) -> Instance:
+        stop = min(t + w, instance.horizon)
+        lam = np.empty((stop - t, instance.network.n_tier1))
+        price = np.empty((stop - t, instance.network.n_tier2))
+        for k, slot in enumerate(range(t, stop)):
+            lam[k], price[k] = self._noisy_slot(instance, slot)
+        base = instance.slice(t, stop)
+        return base.with_data(workload=lam, tier2_price=price)
+
+
+class DecayingAccuracyPredictor(GaussianNoisePredictor):
+    """Forecast noise growing with lead time.
+
+    Real forecasters are accurate for the next hour and increasingly
+    wrong further out.  The noise standard deviation for a slot
+    predicted ``lead`` slots ahead is
+
+    ``error_rate * (1 + growth * lead) * series_mean``.
+
+    Unlike the frozen Gaussian model, each slot's forecast is drawn
+    when the slot first enters a prediction window and *refreshed*
+    whenever a later (closer) decision time re-predicts it with a
+    smaller lead — mimicking rolling forecast updates.  Controllers
+    query one-slot windows through ``window(instance, t, w)`` with
+    ``t`` the first slot of the remaining window; the lead is measured
+    from the most recent :meth:`observe` call (the controller's current
+    decision time).
+    """
+
+    name = "decaying"
+
+    def __init__(self, error_rate: float, growth: float = 0.5, seed=0) -> None:
+        if growth < 0:
+            raise ValueError("growth must be >= 0")
+        self.growth = float(growth)
+        super().__init__(error_rate, seed=seed, frozen=True)
+
+    def reset(self) -> None:
+        super().reset()
+        self._now = 0
+        # cache: slot -> (lead, workload, price); refreshed on smaller lead.
+        self._lead_cache: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
+
+    def observe(self, t: int) -> None:
+        """Advance the forecaster's current decision time to slot ``t``."""
+        self._now = max(self._now, int(t))
+
+    def _noisy_slot(self, instance: Instance, t: int) -> tuple[np.ndarray, np.ndarray]:
+        lead = max(int(t) - self._now, 0)
+        cached = self._lead_cache.get(t)
+        if cached is not None and cached[0] <= lead:
+            return cached[1], cached[2]
+        factor = self.error_rate * (1.0 + self.growth * lead)
+        lam_mean = instance.workload.mean(axis=0)
+        price_mean = instance.tier2_price.mean(axis=0)
+        lam = instance.workload[t] + self._rng.normal(0.0, factor * lam_mean)
+        price = instance.tier2_price[t] + self._rng.normal(0.0, factor * price_mean)
+        lam, price = self._clip_feasible(instance, lam, price)
+        self._lead_cache[t] = (lead, lam, price)
+        return lam, price
+
+    def window(self, instance: Instance, t: int, w: int) -> Instance:
+        self.observe(t)
+        return super().window(instance, t, w)

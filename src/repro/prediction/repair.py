@@ -1,0 +1,67 @@
+"""Minimal-cost top-up of planned decisions against realized workloads.
+
+Controllers that plan from noisy forecasts can undershoot the realized
+workload.  SLA compliance requires the applied allocation to cover the
+*true* demand of the slot, so every predictive controller in this
+library (FHC, RHC, RFHC, RRHC alike — the comparison stays fair)
+passes its planned slot decision through :func:`topup_repair`: the
+cheapest slot-feasible decision that does not release anything the
+plan allocated.
+
+When the plan already covers the realized workload, the repair is the
+identity (verified cheaply before solving any LP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.allocation import Allocation, Trajectory
+from repro.model.feasibility import check_trajectory
+from repro.model.instance import Instance
+from repro.offline.optimal import solve_offline
+
+
+def topup_repair(
+    instance: Instance,
+    t: int,
+    planned: Allocation,
+    previous: Allocation,
+) -> Allocation:
+    """Return the applied decision for slot ``t`` given a planned one.
+
+    Solves the one-shot slice of P1 at ``t`` (true data) with the
+    planned allocation as per-variable lower bounds and reconfiguration
+    charged from ``previous``.  If the plan is already feasible for the
+    realized slot, it is returned unchanged.
+    """
+    slot = instance.slice(t, t + 1)
+    candidate = Trajectory(
+        planned.x[None, :], planned.y[None, :], planned.s[None, :]
+    )
+    if check_trajectory(slot, candidate).ok:
+        return planned
+    net = instance.network
+    zeros = np.zeros((1, net.n_edges))
+    y_cap = np.minimum(planned.y, net.edge_capacity)[None, :]
+    s_cap = np.minimum(planned.s, net.edge_capacity)[None, :]
+    # Relaxation cascade: keep as much of the plan as remains jointly
+    # feasible with the realized workload.  A badly wrong forecast can
+    # make "never release anything" infeasible (planned allocations
+    # block the capacity the true demand needs), in which case first
+    # the covering assignment s is freed (re-routing), then the cloud
+    # allocation x, and finally the slot is re-planned from scratch.
+    floors = (
+        Trajectory(planned.x[None, :], y_cap, s_cap),
+        Trajectory(planned.x[None, :], y_cap, zeros.copy()),
+        Trajectory(zeros.copy(), y_cap, zeros.copy()),
+        None,
+    )
+    last_error: "Exception | None" = None
+    for lower in floors:
+        try:
+            res = solve_offline(slot, initial=previous, lower=lower)
+            return res.trajectory.step(0)
+        except Exception as exc:  # LP infeasible under this floor
+            last_error = exc
+    raise RuntimeError(f"slot {t} repair failed even unconstrained") from last_error

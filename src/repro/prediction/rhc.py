@@ -1,0 +1,45 @@
+"""RHC — Receding Horizon Control (Section IV-A).
+
+At every slot ``t`` the controller solves P1 over ``[t, t+w)``
+(forecast data) given the previously applied decision, but applies
+only the slot-``t`` decision.  With ``w = 1`` this is greedy one-shot
+control.  Theorem 3 shows RHC shares FHC's unbounded worst case on
+ramp-down phases longer than the window.
+"""
+
+from __future__ import annotations
+
+from repro.model.allocation import Allocation, Trajectory
+from repro.model.instance import Instance
+from repro.offline.optimal import solve_offline
+from repro.prediction.predictors import ExactPredictor, Predictor
+from repro.prediction.repair import topup_repair
+
+
+class RecedingHorizonControl:
+    """Standard RHC with pluggable forecast oracle."""
+
+    name = "rhc"
+
+    def __init__(self, window: int, predictor: "Predictor | None" = None) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.predictor = predictor or ExactPredictor()
+
+    def run(
+        self,
+        instance: Instance,
+        initial: "Allocation | None" = None,
+    ) -> Trajectory:
+        """Run RHC over the whole horizon (true costs, repaired SLA)."""
+        self.predictor.reset()
+        prev = initial or Allocation.zeros(instance.network.n_edges)
+        steps: list[Allocation] = []
+        for t in range(instance.horizon):
+            forecast = self.predictor.window(instance, t, self.window)
+            plan = solve_offline(forecast, initial=prev).trajectory
+            applied = topup_repair(instance, t, plan.step(0), prev)
+            steps.append(applied)
+            prev = applied
+        return Trajectory.from_steps(steps)

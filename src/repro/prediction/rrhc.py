@@ -1,0 +1,71 @@
+"""RRHC — Regularized Receding Horizon Control (Section IV-C).
+
+At every slot ``t`` the controller:
+
+1. extends the regularized chain by (at most) one slot, to the
+   window's far edge ``t + w - 1`` — per the paper, subproblems
+   ``P2(t) ... P2(t+w-2)`` were already solved at earlier slots and
+   are reused;
+2. solves the exact pinned problem
+   ``P1(x_{t-1}; x_t, ..., x_{t+w-2}; x~_{t+w-1})`` over the forecast
+   window, where ``x_{t-1}`` is the previously *applied* decision;
+3. applies only the slot-``t`` decision.
+
+Like RFHC, RRHC's cost is bounded by the prediction-free online
+algorithm's cost (Theorem 4), hence inherits its competitive ratio.
+"""
+
+from __future__ import annotations
+
+from repro.core.subproblem import SubproblemConfig
+from repro.model.allocation import Allocation, Trajectory
+from repro.model.instance import Instance
+from repro.offline.optimal import solve_offline
+from repro.prediction.chain import RegularizedChain
+from repro.prediction.predictors import ExactPredictor, Predictor
+from repro.prediction.repair import topup_repair
+
+
+class RegularizedRecedingHorizonControl:
+    """RRHC with pluggable forecast oracle."""
+
+    name = "rrhc"
+
+    def __init__(
+        self,
+        window: int,
+        config: "SubproblemConfig | None" = None,
+        predictor: "Predictor | None" = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.config = config or SubproblemConfig()
+        self.predictor = predictor or ExactPredictor()
+
+    def run(
+        self,
+        instance: Instance,
+        initial: "Allocation | None" = None,
+    ) -> Trajectory:
+        """Run RRHC over the whole horizon (true costs, repaired SLA)."""
+        self.predictor.reset()
+        prev = initial or Allocation.zeros(instance.network.n_edges)
+        chain = RegularizedChain(instance, self.config, self.predictor, initial)
+        steps: list[Allocation] = []
+        T = instance.horizon
+        for t in range(T):
+            terminal_slot = min(t + self.window, T) - 1
+            terminal = chain[terminal_slot]
+            if terminal_slot > t:
+                forecast = self.predictor.window(instance, t, terminal_slot - t)
+                plan = solve_offline(
+                    forecast, initial=prev, terminal=terminal
+                ).trajectory
+                planned = plan.step(0)
+            else:
+                planned = terminal
+            applied = topup_repair(instance, t, planned, prev)
+            steps.append(applied)
+            prev = applied
+        return Trajectory.from_steps(steps)

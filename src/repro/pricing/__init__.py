@@ -1,0 +1,29 @@
+"""Pricing substrate: operating prices for clouds and networks.
+
+* :mod:`repro.pricing.electricity` — hourly real-time electricity
+  prices per RTO market (Table I): iid truncated-Gaussian synthesis,
+  with non-market locations pinned to the mean of the geographically
+  closest market (the paper's rule);
+* :mod:`repro.pricing.bandwidth` — the Amazon-EC2-style tiered WAN
+  bandwidth price (Table II), static over time.
+"""
+
+from repro.pricing.electricity import (
+    ELECTRICITY_MARKETS,
+    ElectricityMarket,
+    ElectricityPriceModel,
+)
+from repro.pricing.bandwidth import (
+    BANDWIDTH_TIERS,
+    bandwidth_price,
+    bandwidth_price_table,
+)
+
+__all__ = [
+    "ElectricityMarket",
+    "ELECTRICITY_MARKETS",
+    "ElectricityPriceModel",
+    "BANDWIDTH_TIERS",
+    "bandwidth_price",
+    "bandwidth_price_table",
+]

@@ -1,0 +1,62 @@
+"""Tiered WAN bandwidth pricing (Table II).
+
+The paper estimates cloud WAN bandwidth price from network capacity
+using Amazon EC2's tiered data-transfer pricing: higher provisioned
+capacity falls into a cheaper per-GB tier.  Bandwidth prices change
+slowly, so the model is static over time.
+
+Table II (capacity in GB/month -> $/GB):
+
+====================  ========
+<= 10                 0.090
+10 - 50               0.085
+50 - 150              0.070
+150 - 500             0.050
+> 500                 0.050
+====================  ========
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# (upper capacity bound in GB/month, price in $/GB); inf tier extends
+# the paper's last row.
+BANDWIDTH_TIERS: tuple[tuple[float, float], ...] = (
+    (10.0, 0.090),
+    (50.0, 0.085),
+    (150.0, 0.070),
+    (500.0, 0.050),
+    (np.inf, 0.050),
+)
+
+
+def bandwidth_price(capacity_gb: "float | np.ndarray") -> np.ndarray:
+    """Per-unit bandwidth price for given network capacities.
+
+    Vectorized step function over Table II.  Capacities are in
+    GB/month; negative capacities are rejected.
+    """
+    caps = np.atleast_1d(np.asarray(capacity_gb, dtype=float))
+    if np.any(caps < 0):
+        raise ValueError("capacity must be >= 0")
+    bounds = np.array([b for b, _ in BANDWIDTH_TIERS])
+    prices = np.array([p for _, p in BANDWIDTH_TIERS])
+    idx = np.searchsorted(bounds, caps, side="left")
+    out = prices[idx]
+    if np.isscalar(capacity_gb):
+        return float(out[0])
+    return out
+
+
+def bandwidth_price_table() -> list[tuple[str, float]]:
+    """Human-readable rendering of Table II (for the bench harness)."""
+    rows = []
+    prev = 0.0
+    for bound, price in BANDWIDTH_TIERS:
+        if np.isinf(bound):
+            rows.append((f"> {prev:g}", price))
+        else:
+            rows.append((f"{prev:g} - {bound:g}", price))
+            prev = bound
+    return rows

@@ -1,0 +1,303 @@
+"""Smooth convex programs with linear inequality constraints.
+
+This is the solver interface used for the regularized subproblems
+P2(t).  A program is
+
+.. math::
+
+    \\min_v \\; f(v) \\quad \\text{s.t.} \\quad A v \\le b, \\;
+    lb \\le v \\le ub,
+
+where :math:`f` is separable: a linear part plus *entropic* terms of
+the form :math:`w\\,((v_k+\\varepsilon)\\ln\\frac{v_k+\\varepsilon}{\\hat v_k+\\varepsilon} - v_k)`
+— exactly the regularizers the paper substitutes for the
+``[.]^+`` reconfiguration costs.  Separability gives a diagonal
+Hessian, which both backends exploit.
+
+Backends
+--------
+``"barrier"`` (default)
+    Our own log-barrier Newton method (:mod:`repro.solvers.barrier`);
+    fast because the Newton systems are ``diag + A^T D A`` with small
+    dense/sparse structure.
+``"trust-constr"``
+    ``scipy.optimize.minimize`` with analytic gradient and Hessian;
+    slower but an independent implementation used for cross-checks.
+
+On a barrier failure the wrapper automatically falls back to
+``trust-constr`` so algorithm runs never die on a single hard slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import Bounds, LinearConstraint, minimize
+
+
+class ConvexSolverError(RuntimeError):
+    """Raised when no backend can solve the program."""
+
+
+@dataclass
+class EntropicTerm:
+    """A group of relative-entropy regularizer terms.
+
+    Contributes ``sum_k w_k ((v_k + eps_k) ln((v_k + eps_k)/(ref_k + eps_k)) - v_k)``
+    over the variables ``indices``; ``ref`` is the previous-slot value
+    the regularizer anchors to.
+    """
+
+    indices: np.ndarray
+    weight: np.ndarray
+    eps: np.ndarray
+    ref: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.intp)
+        n = self.indices.shape[0]
+        self.weight = np.broadcast_to(np.asarray(self.weight, float), (n,)).copy()
+        self.eps = np.broadcast_to(np.asarray(self.eps, float), (n,)).copy()
+        self.ref = np.broadcast_to(np.asarray(self.ref, float), (n,)).copy()
+        if np.any(self.eps <= 0):
+            raise ValueError("entropic eps must be > 0")
+        if np.any(self.weight < 0):
+            raise ValueError("entropic weight must be >= 0")
+        if np.any(self.ref < 0):
+            raise ValueError("entropic ref must be >= 0")
+
+
+class SeparableObjective:
+    """Linear + entropic separable objective with analytic derivatives."""
+
+    def __init__(
+        self,
+        n: int,
+        linear: np.ndarray,
+        entropic: "list[EntropicTerm] | None" = None,
+        constant: float = 0.0,
+    ) -> None:
+        self.n = int(n)
+        self.linear = np.broadcast_to(np.asarray(linear, float), (self.n,)).copy()
+        self.entropic = list(entropic or [])
+        self.constant = float(constant)
+        for term in self.entropic:
+            if term.indices.size and term.indices.max() >= self.n:
+                raise ValueError("entropic term indexes out of range")
+
+    # The entropic terms are only defined for v > -eps; iterates from
+    # generic solvers (e.g. trust-constr trial points) can momentarily
+    # dip below, so the domain is clamped at a tiny positive slack —
+    # the clamp is never active at feasible points (lb >= 0 > -eps).
+    _DOMAIN_FLOOR = 1e-12
+
+    @staticmethod
+    def _log_ratio(term: EntropicTerm, vk: np.ndarray, u: np.ndarray,
+                   r: np.ndarray) -> np.ndarray:
+        """``ln((v+eps)/(ref+eps))`` via ``log1p((v-ref)/(ref+eps))``.
+
+        For large ``eps`` the regularizer weights ``w = b/eta`` blow up
+        while the two log arguments become nearly equal; the log of the
+        rounded ratio then loses the entire signal (absolute error
+        ~``u * eps_mach``, amplified by ``w`` into O(1) objective noise
+        that stalls line searches).  Using the *exact* difference
+        ``v - ref`` inside ``log1p`` keeps full relative accuracy.
+        """
+        # Where the domain clamp is active (v < -eps, transient solver
+        # trial points only) fall back to the clamped difference.
+        delta = np.where(u > SeparableObjective._DOMAIN_FLOOR, vk - term.ref, u - r)
+        return np.log1p(delta / r)
+
+    def value(self, v: np.ndarray) -> float:
+        total = self.constant + float(self.linear @ v)
+        for term in self.entropic:
+            vk = v[term.indices]
+            u = np.maximum(vk + term.eps, self._DOMAIN_FLOOR)
+            r = term.ref + term.eps
+            total += float(
+                np.sum(term.weight * (u * self._log_ratio(term, vk, u, r) - vk))
+            )
+        return total
+
+    def grad(self, v: np.ndarray) -> np.ndarray:
+        g = self.linear.copy()
+        for term in self.entropic:
+            vk = v[term.indices]
+            u = np.maximum(vk + term.eps, self._DOMAIN_FLOOR)
+            r = term.ref + term.eps
+            # d/dv [(v+e) ln((v+e)/(r+e)) - v] = ln((v+e)/(r+e))
+            np.add.at(g, term.indices, term.weight * self._log_ratio(term, vk, u, r))
+        return g
+
+    def hess_diag(self, v: np.ndarray) -> np.ndarray:
+        h = np.zeros(self.n)
+        for term in self.entropic:
+            u = np.maximum(v[term.indices] + term.eps, self._DOMAIN_FLOOR)
+            np.add.at(h, term.indices, term.weight / u)
+        return h
+
+
+@dataclass
+class SolverOptions:
+    """Tuning knobs for :meth:`SmoothConvexProgram.solve`.
+
+    Defaults are suitable for the subproblem sizes in this library
+    (tens to a few hundred variables, solved thousands of times).
+    """
+
+    backend: str = "barrier"
+    tol: float = 1e-7
+    barrier_t0: float = 1.0
+    barrier_mu: float = 20.0
+    max_newton: int = 80
+    fallback: bool = True
+    trust_constr_tol: float = 1e-9
+    trust_constr_maxiter: int = 500
+
+
+class SmoothConvexProgram:
+    """``min f(v) s.t. A v <= b, lb <= v <= ub`` with separable smooth ``f``."""
+
+    def __init__(
+        self,
+        objective: SeparableObjective,
+        A: "sp.spmatrix | np.ndarray | None",
+        b: "np.ndarray | None",
+        lb: np.ndarray,
+        ub: np.ndarray,
+    ) -> None:
+        self.objective = objective
+        n = objective.n
+        if A is None:
+            A = sp.csr_matrix((0, n))
+            b = np.zeros(0)
+        self.A = sp.csr_matrix(A)
+        self.b = np.atleast_1d(np.asarray(b, float))
+        if self.A.shape != (self.b.shape[0], n):
+            raise ValueError(
+                f"A has shape {self.A.shape}, expected ({self.b.shape[0]}, {n})"
+            )
+        self.lb = np.broadcast_to(np.asarray(lb, float), (n,)).copy()
+        self.ub = np.broadcast_to(np.asarray(ub, float), (n,)).copy()
+        if np.any(self.lb > self.ub):
+            raise ValueError("lb > ub")
+
+    # ------------------------------------------------------------------
+    def residual(self, v: np.ndarray) -> float:
+        """Worst constraint violation at ``v`` (<= 0 means feasible)."""
+        parts = [np.max(self.lb - v, initial=-np.inf), np.max(v - self.ub, initial=-np.inf)]
+        if self.A.shape[0]:
+            parts.append(float(np.max(self.A @ v - self.b)))
+        return float(max(parts))
+
+    def solve(
+        self,
+        v0: "np.ndarray | None" = None,
+        options: "SolverOptions | None" = None,
+    ) -> np.ndarray:
+        """Solve the program, optionally warm-starting from ``v0``.
+
+        Returns the optimal ``v``; raises :class:`ConvexSolverError`
+        if every backend fails.
+        """
+        options = options or SolverOptions()
+        backends = [options.backend]
+        if options.fallback and options.backend != "trust-constr":
+            backends.append("trust-constr")
+        errors: list[str] = []
+        for backend in backends:
+            try:
+                if backend == "barrier":
+                    from repro.solvers.barrier import barrier_solve
+
+                    return barrier_solve(self, v0=v0, options=options)
+                if backend == "trust-constr":
+                    return self._solve_trust_constr(v0, options)
+                raise ConvexSolverError(f"unknown backend {backend!r}")
+            except ConvexSolverError as exc:  # try the next backend
+                errors.append(f"{backend}: {exc}")
+        raise ConvexSolverError("; ".join(errors))
+
+    # ------------------------------------------------------------------
+    def _interior_start(self) -> np.ndarray:
+        """Strictly feasible point via a margin-maximizing LP (phase I)."""
+        from scipy.optimize import linprog
+
+        n = self.objective.n
+        m = self.A.shape[0]
+        # Variables [v, delta]: maximize delta s.t. Av + delta <= b,
+        # lb + delta <= v <= ub - delta (only where bounds are finite).
+        cols = []
+        rhs = []
+        if m:
+            cols.append(sp.hstack([self.A, sp.csr_matrix(np.ones((m, 1)))]))
+            rhs.append(self.b)
+        fin_lb = np.flatnonzero(np.isfinite(self.lb))
+        if fin_lb.size:
+            sel = sp.csr_matrix(
+                (-np.ones(fin_lb.size), (np.arange(fin_lb.size), fin_lb)),
+                shape=(fin_lb.size, n),
+            )
+            cols.append(sp.hstack([sel, sp.csr_matrix(np.ones((fin_lb.size, 1)))]))
+            rhs.append(-self.lb[fin_lb])
+        fin_ub = np.flatnonzero(np.isfinite(self.ub))
+        if fin_ub.size:
+            sel = sp.csr_matrix(
+                (np.ones(fin_ub.size), (np.arange(fin_ub.size), fin_ub)),
+                shape=(fin_ub.size, n),
+            )
+            cols.append(sp.hstack([sel, sp.csr_matrix(np.ones((fin_ub.size, 1)))]))
+            rhs.append(self.ub[fin_ub])
+        A_ub = sp.vstack(cols, format="csr")
+        b_ub = np.concatenate(rhs)
+        c = np.zeros(n + 1)
+        c[-1] = -1.0
+        # Cap delta so the LP is bounded even for unbounded feasible sets.
+        bounds = [(None, None)] * n + [(0.0, 1e6)]
+        res = linprog(c, A_ub=A_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        if not res.success or res.x is None or res.x[-1] <= 0:
+            raise ConvexSolverError("phase-I failed to find a strictly interior point")
+        return np.asarray(res.x[:n], dtype=float)
+
+    def _solve_trust_constr(
+        self, v0: "np.ndarray | None", options: SolverOptions
+    ) -> np.ndarray:
+        obj = self.objective
+        n = obj.n
+        if v0 is None or self.residual(v0) > 0:
+            v0 = (
+                self._interior_start()
+                if self.A.shape[0]
+                else np.clip(np.zeros(n), self.lb, self.ub)
+            )
+        constraints = []
+        if self.A.shape[0]:
+            constraints.append(LinearConstraint(self.A, -np.inf, self.b))
+        res = minimize(
+            obj.value,
+            v0,
+            jac=obj.grad,
+            hess=lambda v: sp.diags(obj.hess_diag(v)),
+            bounds=Bounds(self.lb, self.ub),
+            constraints=constraints,
+            method="trust-constr",
+            options={
+                "gtol": options.trust_constr_tol,
+                "xtol": options.trust_constr_tol,
+                "maxiter": options.trust_constr_maxiter,
+            },
+        )
+        v = np.asarray(res.x, dtype=float)
+        # trust-constr can end with tiny constraint violations; project
+        # box bounds exactly and accept small general-constraint slack.
+        v = np.clip(v, self.lb, self.ub)
+        viol = self.residual(v)
+        if viol > 1e-6:
+            raise ConvexSolverError(
+                f"trust-constr returned infeasible point (violation {viol:.2e})"
+            )
+        if not res.success and res.status not in (1, 2, 3):
+            raise ConvexSolverError(f"trust-constr failed: {res.message}")
+        return v

@@ -1,0 +1,23 @@
+"""Topology substrate: the paper's evaluation geography.
+
+18 AT&T-era North-American data-center metros as tier-2 clouds, the 48
+continental US state capitals as tier-1 (edge) clouds, SLA subsets
+from geographic k-nearest-neighbour assignment, and the paper's
+capacity-provisioning rules (Section V-A).
+"""
+
+from repro.topology.sites import ATT_SITES, STATE_CAPITALS, Site
+from repro.topology.geo import haversine_matrix, k_nearest
+from repro.topology.capacity import provision_capacities
+from repro.topology.builder import PaperTopologyBuilder, build_paper_instance
+
+__all__ = [
+    "Site",
+    "ATT_SITES",
+    "STATE_CAPITALS",
+    "haversine_matrix",
+    "k_nearest",
+    "provision_capacities",
+    "PaperTopologyBuilder",
+    "build_paper_instance",
+]

@@ -1,0 +1,164 @@
+"""Assemble the paper's evaluation instances (Section V-A/V-B).
+
+:class:`PaperTopologyBuilder` wires together every substrate:
+
+* tier-2 clouds at the 18 AT&T-era metros, tier-1 clouds at the 48
+  continental state capitals (subsettable for laptop-scale runs);
+* SLA edges from geographic k-nearest-neighbour assignment;
+* capacities from the 80 %-peak provisioning rule;
+* tier-2 operating prices from the Table-I electricity model;
+* link operating prices from the Table-II tiered bandwidth model;
+* reconfiguration prices as a *relative weight* over each resource's
+  time-mean operating price (the paper's control knob ``b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.instance import Instance
+from repro.model.network import Cloud, CloudNetwork, SLAEdge
+from repro.pricing.bandwidth import bandwidth_price
+from repro.pricing.electricity import ElectricityPriceModel
+from repro.topology.capacity import provision_capacities
+from repro.topology.geo import haversine_matrix, k_nearest
+from repro.topology.sites import ATT_SITES, STATE_CAPITALS, Site
+from repro.util.rng import as_generator
+from repro.workloads.traces import replicate_across_clouds
+
+
+@dataclass
+class PaperTopologyBuilder:
+    """Builds :class:`Instance` objects matching the paper's setup.
+
+    Parameters
+    ----------
+    k:
+        SLA size: each tier-1 cloud may use its ``k`` closest tier-2
+        clouds (paper varies 1..4).
+    recon_weight:
+        The control knob ``b``: reconfiguration price as a multiple of
+        the resource's time-mean operating price (paper varies
+        ``10 .. 10^4``).
+    n_tier2, n_tier1:
+        Optional subsetting of the 18/48 site lists for reduced-scale
+        runs (sites are taken in list order, which is geographically
+        spread).
+    headroom:
+        Capacity provisioning multiplier (1.25 = peak at 80 %).
+    bandwidth_capacity_gb:
+        Nominal per-link capacity, in GB/month, used only to look up
+        the Table-II price tier for link operating prices.
+    seed:
+        Seed for electricity price synthesis.
+    """
+
+    k: int = 1
+    recon_weight: float = 1e3
+    n_tier2: "int | None" = None
+    n_tier1: "int | None" = None
+    headroom: float = 1.25
+    bandwidth_capacity_gb: float = 200.0
+    market_share: float = 1.0
+    seed: "int | None" = 42
+
+    def tier2_sites(self) -> tuple[Site, ...]:
+        sites = ATT_SITES
+        if self.n_tier2 is not None:
+            if not (1 <= self.n_tier2 <= len(ATT_SITES)):
+                raise ValueError(f"n_tier2 must be in [1, {len(ATT_SITES)}]")
+            sites = ATT_SITES[: self.n_tier2]
+        return sites
+
+    def tier1_sites(self) -> tuple[Site, ...]:
+        sites = STATE_CAPITALS
+        if self.n_tier1 is not None:
+            if not (1 <= self.n_tier1 <= len(STATE_CAPITALS)):
+                raise ValueError(f"n_tier1 must be in [1, {len(STATE_CAPITALS)}]")
+            sites = STATE_CAPITALS[: self.n_tier1]
+        return sites
+
+    # ------------------------------------------------------------------
+    def build(self, trace: np.ndarray) -> Instance:
+        """Build the full instance for a single hourly trace.
+
+        The trace is replicated across all tier-1 clouds (the paper's
+        rule).  For per-cloud workloads, pass a ``(T, J)`` matrix.
+        """
+        trace = np.asarray(trace, dtype=float)
+        t2, t1 = self.tier2_sites(), self.tier1_sites()
+        if trace.ndim == 1:
+            workload = replicate_across_clouds(trace, len(t1))
+        else:
+            if trace.shape[1] != len(t1):
+                raise ValueError(
+                    f"workload has {trace.shape[1]} columns, expected {len(t1)}"
+                )
+            workload = trace
+        T = workload.shape[0]
+
+        # SLA assignment: k nearest tier-2 clouds per tier-1 cloud.
+        dist = haversine_matrix(
+            np.array([s.lat for s in t1]),
+            np.array([s.lon for s in t1]),
+            np.array([s.lat for s in t2]),
+            np.array([s.lon for s in t2]),
+        )
+        assignment = k_nearest(dist, min(self.k, len(t2)))
+
+        # Capacities from peaks.
+        peaks = workload.max(axis=0)
+        caps = provision_capacities(peaks, assignment, len(t2), self.headroom)
+
+        # Operating prices.
+        elec = ElectricityPriceModel(market_share=self.market_share)
+        tier2_price = elec.series(
+            [s.location for s in t2], T, seed=as_generator(self.seed)
+        )
+        link_unit_price = float(bandwidth_price(self.bandwidth_capacity_gb))
+
+        # Reconfiguration prices: relative weight over the time-mean
+        # operating price of the corresponding resource.
+        tier2_recon = self.recon_weight * tier2_price.mean(axis=0)
+        link_recon = self.recon_weight * link_unit_price
+
+        tier2_clouds = [
+            Cloud(s.name, float(caps.tier2[i]), float(tier2_recon[i]), s.location)
+            for i, s in enumerate(t2)
+        ]
+        tier1_clouds = [
+            Cloud(s.name, np.inf, 0.0, s.location) for s in t1
+        ]
+        edges = [
+            SLAEdge(
+                tier2=int(assignment[j, m]),
+                tier1=j,
+                capacity=float(caps.edges[j * assignment.shape[1] + m]),
+                recon_price=link_recon,
+            )
+            for j in range(len(t1))
+            for m in range(assignment.shape[1])
+        ]
+        network = CloudNetwork(tier2_clouds, tier1_clouds, edges)
+        link_price = np.full((T, len(edges)), link_unit_price)
+        return Instance(network, workload, tier2_price, link_price)
+
+
+def build_paper_instance(
+    trace: np.ndarray,
+    k: int = 1,
+    recon_weight: float = 1e3,
+    n_tier2: "int | None" = None,
+    n_tier1: "int | None" = None,
+    seed: "int | None" = 42,
+) -> Instance:
+    """One-call convenience wrapper around :class:`PaperTopologyBuilder`."""
+    return PaperTopologyBuilder(
+        k=k,
+        recon_weight=recon_weight,
+        n_tier2=n_tier2,
+        n_tier1=n_tier1,
+        seed=seed,
+    ).build(trace)

@@ -1,0 +1,80 @@
+"""Capacity provisioning rules (Section V-A).
+
+The paper provisions capacities from the workload so that the peak
+consumes 80 % of capacity:
+
+* with ``k = 1`` (each tier-1 cloud uses only its closest tier-2
+  cloud), tier-2 cloud ``i``'s capacity is ``1.25x`` the sum of the
+  peak workloads of the tier-1 clouds whose *closest* cloud is ``i``;
+* with general ``k``, every tier-1 cloud's peak is split evenly across
+  its ``k`` SLA clouds and the multiplier becomes ``1.25 / k``;
+* each SLA link's capacity equals its incident tier-2 cloud's
+  capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProvisionedCapacities:
+    """Output of :func:`provision_capacities`.
+
+    ``tier2`` has shape ``(I,)``; ``edges`` aligns with the flattened
+    SLA edge list ``[(assignment[j, m], j) for j for m]``.
+    """
+
+    tier2: np.ndarray
+    edges: np.ndarray
+
+
+def provision_capacities(
+    peaks: np.ndarray,
+    assignment: np.ndarray,
+    n_tier2: int,
+    headroom: float = 1.25,
+) -> ProvisionedCapacities:
+    """Apply the paper's 80 %-peak provisioning rule.
+
+    Parameters
+    ----------
+    peaks:
+        ``(J,)`` per-tier-1-cloud peak workloads.
+    assignment:
+        ``(J, k)`` k-NN SLA assignment (tier-2 indices per tier-1
+        cloud, nearest first).
+    n_tier2:
+        Number of tier-2 clouds ``I``.
+    headroom:
+        Capacity multiplier (1.25 = peak consumes 80 %).
+
+    Returns
+    -------
+    ProvisionedCapacities
+        Tier-2 capacities and per-edge link capacities.  A tier-2
+        cloud that no tier-1 cloud selects gets a minimal positive
+        capacity (it can then only serve overflow hedging).
+    """
+    peaks = np.atleast_1d(np.asarray(peaks, dtype=float))
+    assignment = np.atleast_2d(np.asarray(assignment, dtype=np.intp))
+    J, k = assignment.shape
+    if peaks.shape != (J,):
+        raise ValueError(f"peaks has shape {peaks.shape}, expected ({J},)")
+    if np.any(peaks < 0):
+        raise ValueError("peaks must be >= 0")
+    if headroom <= 1.0:
+        raise ValueError("headroom must exceed 1.0 (capacity above peak)")
+
+    # Each tier-1 cloud contributes peak/k to each of its k clouds.
+    contrib = np.zeros(n_tier2)
+    np.add.at(contrib, assignment.ravel(), np.repeat(peaks / k, k))
+    tier2 = headroom * contrib
+    floor = max(peaks.max(initial=0.0) * 1e-3, 1e-6)
+    tier2 = np.maximum(tier2, floor)
+
+    # Link capacity equals the incident tier-2 cloud's capacity.
+    edges = tier2[assignment.ravel()]
+    return ProvisionedCapacities(tier2=tier2, edges=edges)

@@ -1,0 +1,43 @@
+"""Geographic helpers: great-circle distances and k-NN SLA assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_matrix(
+    lat1: np.ndarray,
+    lon1: np.ndarray,
+    lat2: np.ndarray,
+    lon2: np.ndarray,
+) -> np.ndarray:
+    """Pairwise great-circle distances in km.
+
+    ``lat1/lon1`` have length ``m`` and ``lat2/lon2`` length ``n``;
+    the result is ``(m, n)``.  Fully vectorized (broadcasting).
+    """
+    p1 = np.radians(np.asarray(lat1, dtype=float))[:, None]
+    l1 = np.radians(np.asarray(lon1, dtype=float))[:, None]
+    p2 = np.radians(np.asarray(lat2, dtype=float))[None, :]
+    l2 = np.radians(np.asarray(lon2, dtype=float))[None, :]
+    dphi = p2 - p1
+    dlam = l2 - l1
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(p1) * np.cos(p2) * np.sin(dlam / 2.0) ** 2
+    return 2.0 * _EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
+
+def k_nearest(distances: np.ndarray, k: int) -> np.ndarray:
+    """Indices of each row's ``k`` nearest columns, nearest first.
+
+    ``distances`` is ``(m, n)``; returns ``(m, k)`` integer indices.
+    This is the paper's SLA rule: tier-1 cloud ``j`` may use its ``k``
+    geographically closest tier-2 clouds.
+    """
+    distances = np.asarray(distances, dtype=float)
+    n = distances.shape[1]
+    if not (1 <= k <= n):
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    order = np.argsort(distances, axis=1, kind="stable")
+    return order[:, :k]

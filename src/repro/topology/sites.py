@@ -1,0 +1,104 @@
+"""Embedded site data: tier-2 metros and the 48 continental state capitals.
+
+The paper uses "the 18 AT&T clouds in North America" [ref. 2] as
+tier-2 cloud locations; that source is a defunct web page, so we embed
+18 major metros where AT&T operated Internet Data Centers in that era
+(DESIGN.md §4 — only the pairwise distance *ranks* matter, since SLAs
+come from k-nearest-neighbour assignment, and any well-spread set of
+18 metros produces the same structure).
+
+Coordinates are approximate city centers (degrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Site:
+    """A named geographic site."""
+
+    name: str
+    state: str
+    lat: float
+    lon: float
+
+    @property
+    def location(self) -> tuple[float, float]:
+        return (self.lat, self.lon)
+
+
+#: 18 AT&T-era IDC metros (tier-2 clouds).
+ATT_SITES: tuple[Site, ...] = (
+    Site("Seattle", "WA", 47.61, -122.33),
+    Site("San Francisco", "CA", 37.77, -122.42),
+    Site("San Jose", "CA", 37.34, -121.89),
+    Site("Los Angeles", "CA", 34.05, -118.24),
+    Site("San Diego", "CA", 32.72, -117.16),
+    Site("Phoenix", "AZ", 33.45, -112.07),
+    Site("Denver", "CO", 39.74, -104.99),
+    Site("Dallas", "TX", 32.78, -96.80),
+    Site("Austin", "TX", 30.27, -97.74),
+    Site("Houston", "TX", 29.76, -95.37),
+    Site("Chicago", "IL", 41.88, -87.63),
+    Site("St. Louis", "MO", 38.63, -90.20),
+    Site("Nashville", "TN", 36.16, -86.78),
+    Site("Atlanta", "GA", 33.75, -84.39),
+    Site("Orlando", "FL", 28.54, -81.38),
+    Site("Washington", "DC", 38.91, -77.04),
+    Site("New York", "NY", 40.71, -74.01),
+    Site("Boston", "MA", 42.36, -71.06),
+)
+
+#: The 48 continental US state capitals (tier-1 / edge clouds).
+STATE_CAPITALS: tuple[Site, ...] = (
+    Site("Montgomery", "AL", 32.38, -86.30),
+    Site("Phoenix", "AZ", 33.45, -112.07),
+    Site("Little Rock", "AR", 34.75, -92.29),
+    Site("Sacramento", "CA", 38.58, -121.49),
+    Site("Denver", "CO", 39.74, -104.99),
+    Site("Hartford", "CT", 41.77, -72.67),
+    Site("Dover", "DE", 39.16, -75.52),
+    Site("Tallahassee", "FL", 30.44, -84.28),
+    Site("Atlanta", "GA", 33.75, -84.39),
+    Site("Boise", "ID", 43.62, -116.20),
+    Site("Springfield", "IL", 39.80, -89.65),
+    Site("Indianapolis", "IN", 39.77, -86.16),
+    Site("Des Moines", "IA", 41.59, -93.60),
+    Site("Topeka", "KS", 39.05, -95.68),
+    Site("Frankfort", "KY", 38.20, -84.87),
+    Site("Baton Rouge", "LA", 30.45, -91.19),
+    Site("Augusta", "ME", 44.31, -69.78),
+    Site("Annapolis", "MD", 38.98, -76.49),
+    Site("Boston", "MA", 42.36, -71.06),
+    Site("Lansing", "MI", 42.73, -84.56),
+    Site("St. Paul", "MN", 44.95, -93.09),
+    Site("Jackson", "MS", 32.30, -90.18),
+    Site("Jefferson City", "MO", 38.58, -92.17),
+    Site("Helena", "MT", 46.59, -112.04),
+    Site("Lincoln", "NE", 40.81, -96.68),
+    Site("Carson City", "NV", 39.16, -119.77),
+    Site("Concord", "NH", 43.21, -71.54),
+    Site("Trenton", "NJ", 40.22, -74.76),
+    Site("Santa Fe", "NM", 35.69, -105.94),
+    Site("Albany", "NY", 42.65, -73.76),
+    Site("Raleigh", "NC", 35.78, -78.64),
+    Site("Bismarck", "ND", 46.81, -100.78),
+    Site("Columbus", "OH", 39.96, -83.00),
+    Site("Oklahoma City", "OK", 35.47, -97.52),
+    Site("Salem", "OR", 44.94, -123.04),
+    Site("Harrisburg", "PA", 40.26, -76.88),
+    Site("Providence", "RI", 41.82, -71.41),
+    Site("Columbia", "SC", 34.00, -81.03),
+    Site("Pierre", "SD", 44.37, -100.35),
+    Site("Nashville", "TN", 36.16, -86.78),
+    Site("Austin", "TX", 30.27, -97.74),
+    Site("Salt Lake City", "UT", 40.76, -111.89),
+    Site("Montpelier", "VT", 44.26, -72.58),
+    Site("Richmond", "VA", 37.54, -77.44),
+    Site("Olympia", "WA", 47.04, -122.90),
+    Site("Charleston", "WV", 38.35, -81.63),
+    Site("Madison", "WI", 43.07, -89.40),
+    Site("Cheyenne", "WY", 41.14, -104.82),
+)

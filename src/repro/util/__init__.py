@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, validation helpers, timing."""
+
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.validation import (
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_shape,
+)
+from repro.util.timing import Timer
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_finite",
+    "check_nonnegative",
+    "check_positive",
+    "check_shape",
+    "Timer",
+]

@@ -1,0 +1,46 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (price synthesis, workload
+generation, prediction noise) accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None``.  This module
+normalizes those inputs so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent child generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the children
+    are statistically independent regardless of how many are drawn.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive a seed sequence from the generator's bit stream.
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in root.spawn(n)]

@@ -1,0 +1,45 @@
+"""Array validation helpers used across the model layer.
+
+These raise early with precise messages instead of letting NaNs or
+negative capacities propagate into the solvers, where failures are far
+harder to diagnose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_finite(name: str, arr: np.ndarray) -> np.ndarray:
+    """Raise ``ValueError`` if ``arr`` contains NaN or +/-inf."""
+    arr = np.asarray(arr, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise ValueError(f"{name} contains {bad} non-finite entries")
+    return arr
+
+
+def check_nonnegative(name: str, arr: np.ndarray) -> np.ndarray:
+    """Raise ``ValueError`` unless every entry of ``arr`` is >= 0."""
+    arr = check_finite(name, arr)
+    if np.any(arr < 0):
+        worst = float(arr.min())
+        raise ValueError(f"{name} must be non-negative (min entry {worst})")
+    return arr
+
+
+def check_positive(name: str, arr: np.ndarray) -> np.ndarray:
+    """Raise ``ValueError`` unless every entry of ``arr`` is > 0."""
+    arr = check_finite(name, arr)
+    if np.any(arr <= 0):
+        worst = float(arr.min())
+        raise ValueError(f"{name} must be strictly positive (min entry {worst})")
+    return arr
+
+
+def check_shape(name: str, arr: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Raise ``ValueError`` unless ``arr.shape == shape``."""
+    arr = np.asarray(arr)
+    if arr.shape != tuple(shape):
+        raise ValueError(f"{name} has shape {arr.shape}, expected {tuple(shape)}")
+    return arr

@@ -1,0 +1,43 @@
+"""Workload substrate.
+
+The paper evaluates on the October-2007 Wikipedia trace (500 hours,
+regular diurnal dynamics) and the most bursty 600 hours of the
+WorldCup-98 HTTP trace (large spikes).  The raw traces are not
+shipped; :mod:`repro.workloads.wikipedia` and
+:mod:`repro.workloads.worldcup` generate seeded synthetic hourly
+traces reproducing the two regimes (see DESIGN.md §4), and
+:mod:`repro.workloads.traces` loads real hourly CSV exports for users
+who have them.  :mod:`repro.workloads.synthetic` provides the generic
+shapes used in tests and adversarial constructions.
+"""
+
+from repro.workloads.synthetic import (
+    constant_workload,
+    diurnal_profile,
+    ramp_workload,
+    random_walk_workload,
+    spike_train,
+)
+from repro.workloads.wikipedia import WikipediaLikeWorkload
+from repro.workloads.worldcup import WorldCupLikeWorkload
+from repro.workloads.traces import load_hourly_csv, replicate_across_clouds
+from repro.workloads.arrivals import (
+    aggregate_hourly,
+    hourly_counts_from_profile,
+    simulate_arrivals,
+)
+
+__all__ = [
+    "diurnal_profile",
+    "constant_workload",
+    "ramp_workload",
+    "spike_train",
+    "random_walk_workload",
+    "WikipediaLikeWorkload",
+    "WorldCupLikeWorkload",
+    "load_hourly_csv",
+    "replicate_across_clouds",
+    "simulate_arrivals",
+    "aggregate_hourly",
+    "hourly_counts_from_profile",
+]

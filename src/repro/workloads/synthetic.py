@@ -1,0 +1,99 @@
+"""Generic synthetic workload shapes.
+
+Small, composable generators used by tests, examples and the two
+trace-like generators.  All return 1-D ``(T,)`` arrays of non-negative
+hourly demand; multi-cloud workloads are built by replication or by
+stacking independent draws (see :mod:`repro.workloads.traces`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+
+def diurnal_profile(
+    horizon: int,
+    base: float = 1.0,
+    amplitude: float = 0.4,
+    period: int = 24,
+    peak_hour: int = 14,
+) -> np.ndarray:
+    """Sinusoidal day/night demand profile.
+
+    ``base`` is the mean level; the curve peaks at ``peak_hour`` within
+    each ``period``-hour day and never goes negative (amplitude is
+    clipped to ``base``).
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    amplitude = min(amplitude, base)
+    hours = np.arange(horizon)
+    phase = 2.0 * np.pi * (hours - peak_hour) / period
+    return base + amplitude * np.cos(phase)
+
+
+def constant_workload(horizon: int, level: float = 1.0) -> np.ndarray:
+    """Constant demand (the trivial baseline shape)."""
+    if level < 0:
+        raise ValueError("level must be >= 0")
+    return np.full(horizon, float(level))
+
+
+def ramp_workload(
+    horizon: int, start: float, stop: float
+) -> np.ndarray:
+    """Linear ramp from ``start`` to ``stop`` over the horizon."""
+    if start < 0 or stop < 0:
+        raise ValueError("levels must be >= 0")
+    return np.linspace(start, stop, horizon)
+
+
+def spike_train(
+    horizon: int,
+    base: float,
+    n_spikes: int,
+    spike_height: float,
+    spike_width: int = 3,
+    seed=None,
+) -> np.ndarray:
+    """Baseline demand with randomly placed sharp spikes.
+
+    Each spike rises instantly to ``base + spike_height`` and decays
+    linearly over ``spike_width`` hours — the flash-crowd shape that
+    defeats prediction-based control.
+    """
+    if n_spikes < 0 or spike_width < 1:
+        raise ValueError("n_spikes >= 0 and spike_width >= 1 required")
+    rng = as_generator(seed)
+    lam = np.full(horizon, float(base))
+    if n_spikes == 0 or horizon == 0:
+        return lam
+    starts = rng.choice(horizon, size=min(n_spikes, horizon), replace=False)
+    taper = np.linspace(1.0, 0.0, spike_width, endpoint=False)
+    for s in starts:
+        stop = min(s + spike_width, horizon)
+        lam[s:stop] += spike_height * taper[: stop - s]
+    return lam
+
+
+def random_walk_workload(
+    horizon: int,
+    start: float,
+    step_std: float,
+    lower: float = 0.0,
+    upper: float = np.inf,
+    seed=None,
+) -> np.ndarray:
+    """Reflected Gaussian random walk (for property-based stress tests)."""
+    if not (lower <= start <= upper):
+        raise ValueError("start must lie within [lower, upper]")
+    rng = as_generator(seed)
+    steps = rng.normal(0.0, step_std, size=horizon)
+    lam = np.empty(horizon)
+    cur = float(start)
+    for t in range(horizon):
+        cur = float(np.clip(cur + steps[t], lower, upper))
+        lam[t] = cur
+    return lam

@@ -1,0 +1,74 @@
+"""Trace utilities: CSV loading and multi-cloud replication.
+
+The paper replicates the (single) trace across all tier-1 clouds to
+simulate each edge cloud's workload; :func:`replicate_across_clouds`
+implements that, optionally with per-cloud phase shifts or scaling so
+clouds are not perfectly synchronized.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.rng import as_generator
+from repro.util.validation import check_nonnegative
+
+
+def load_hourly_csv(path: "str | Path", column: int = -1) -> np.ndarray:
+    """Load an hourly demand trace from a CSV file.
+
+    Accepts either a single-column file of hourly counts or a
+    multi-column file (``column`` selects which one; default last).
+    Header rows are skipped automatically.  For users with the real
+    Wikipedia/WorldCup exports aggregated to hourly counts.
+    """
+    values: list[float] = []
+    with open(path, newline="") as fh:
+        for row in csv.reader(fh):
+            if not row:
+                continue
+            try:
+                values.append(float(row[column]))
+            except (ValueError, IndexError):
+                continue  # header or malformed row
+    if not values:
+        raise ValueError(f"no numeric rows found in {path}")
+    return check_nonnegative("trace", np.asarray(values, dtype=float))
+
+
+def replicate_across_clouds(
+    trace: np.ndarray,
+    n_clouds: int,
+    phase_shift_hours: int = 0,
+    scale_jitter: float = 0.0,
+    seed=None,
+) -> np.ndarray:
+    """Build a ``(T, J)`` workload matrix from one ``(T,)`` trace.
+
+    Parameters
+    ----------
+    trace:
+        Hourly demand, ``(T,)``.
+    n_clouds:
+        Number of tier-1 clouds ``J``.
+    phase_shift_hours:
+        When nonzero, cloud ``j`` sees the trace rolled by
+        ``j * phase_shift_hours`` hours (e.g. time zones).
+    scale_jitter:
+        When nonzero, each cloud's copy is scaled by a lognormal
+        factor with this sigma (heterogeneous demand volumes).
+    """
+    trace = check_nonnegative("trace", np.atleast_1d(np.asarray(trace, float)))
+    if n_clouds < 1:
+        raise ValueError("n_clouds must be >= 1")
+    cols = []
+    rng = as_generator(seed)
+    for j in range(n_clouds):
+        col = np.roll(trace, j * phase_shift_hours)
+        if scale_jitter > 0:
+            col = col * rng.lognormal(0.0, scale_jitter)
+        cols.append(col)
+    return np.stack(cols, axis=1)

@@ -1,0 +1,85 @@
+"""WorldCup-98-like workload generator (Fig. 4b regime).
+
+The paper uses the HTTP-server trace of the 1998 World Cup [3],
+restricted to its most bursty 600 hours (hours 901-1500 of the
+original): a modest diurnal baseline punctuated by very large
+match-day spikes — demand jumping by factors of 5-10 within an hour
+or two and decaying over a few hours after the match.
+
+This generator reproduces that regime: a diurnal baseline plus a
+schedule of evening match events with heavy-tailed amplitudes, sharp
+onset and short decay.  See DESIGN.md §4 for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import as_generator
+from repro.workloads.synthetic import diurnal_profile
+
+
+@dataclass
+class WorldCupLikeWorkload:
+    """Seeded generator for the bursty (flash-crowd) regime.
+
+    Parameters
+    ----------
+    horizon:
+        Number of hours (the paper uses 600).
+    peak:
+        Target peak demand (trace normalized so its maximum equals it).
+    matches_per_week:
+        Expected number of spike events per 168-hour week.
+    spike_factor_range:
+        ``(low, high)`` of the Pareto-ish spike amplitude relative to
+        the baseline mean.
+    rise_hours, decay_hours:
+        Onset and decay lengths of each spike.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    horizon: int = 600
+    peak: float = 1.0
+    matches_per_week: float = 10.0
+    spike_factor_range: tuple[float, float] = (3.0, 9.0)
+    rise_hours: int = 2
+    decay_hours: int = 4
+    noise_std: float = 0.05
+    seed: "int | None" = 1998
+
+    name = "worldcup-like"
+
+    def generate(self) -> np.ndarray:
+        """Hourly demand, shape ``(horizon,)``, max exactly ``peak``."""
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if self.peak <= 0:
+            raise ValueError("peak must be > 0")
+        lo, hi = self.spike_factor_range
+        if not (0 < lo <= hi):
+            raise ValueError("spike_factor_range must satisfy 0 < low <= high")
+        rng = as_generator(self.seed)
+
+        base = diurnal_profile(self.horizon, base=0.12, amplitude=0.06)
+        noise = rng.lognormal(0.0, self.noise_std, size=self.horizon)
+        lam = base * noise
+
+        n_events = rng.poisson(self.matches_per_week * self.horizon / 168.0)
+        if n_events:
+            # Matches start in the afternoon/evening hours of each day.
+            days = rng.integers(0, max(self.horizon // 24, 1), size=n_events)
+            hour_in_day = rng.integers(13, 21, size=n_events)
+            starts = np.minimum(days * 24 + hour_in_day, self.horizon - 1)
+            amps = rng.uniform(lo, hi, size=n_events) * base.mean()
+            rise = np.linspace(0.0, 1.0, self.rise_hours + 1)[1:]
+            decay = np.exp(-np.arange(1, self.decay_hours + 1) / 1.5)
+            shape = np.concatenate([rise, decay])
+            for s, amp in zip(starts, amps):
+                stop = min(s + shape.size, self.horizon)
+                lam[s:stop] += amp * shape[: stop - s]
+        return lam * (self.peak / lam.max())

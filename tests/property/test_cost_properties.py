@@ -1,0 +1,91 @@
+"""Property-based tests for the cost model."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from conftest import make_instance, make_network  # noqa: E402
+
+from repro.model import Allocation, Instance, Trajectory, evaluate_cost  # noqa: E402
+
+
+def random_trajectory(rng, T, E, scale=2.0):
+    s = rng.random((T, E)) * scale
+    x = s + rng.random((T, E)) * 0.5
+    y = s + rng.random((T, E)) * 0.5
+    return Trajectory(x, y, s)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), T=st.integers(1, 12))
+def test_cost_nonnegative(seed, T):
+    net = make_network()
+    inst = make_instance(net, horizon=T, seed=seed % 50)
+    rng = np.random.default_rng(seed)
+    traj = random_trajectory(rng, T, net.n_edges)
+    cost = evaluate_cost(inst, traj)
+    assert cost.total >= 0
+    assert np.all(cost.per_slot >= -1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), T=st.integers(2, 12), cut=st.integers(1, 11))
+def test_cost_additive_across_time_split(seed, T, cut):
+    """Splitting a trajectory at t and chaining initial states preserves cost."""
+    cut = min(cut, T - 1)
+    net = make_network()
+    inst = make_instance(net, horizon=T, seed=seed % 50)
+    rng = np.random.default_rng(seed)
+    traj = random_trajectory(rng, T, net.n_edges)
+
+    full = evaluate_cost(inst, traj).total
+    first = evaluate_cost(
+        inst.slice(0, cut), Trajectory(traj.x[:cut], traj.y[:cut], traj.s[:cut])
+    ).total
+    boundary = traj.step(cut - 1)
+    second = evaluate_cost(
+        inst.slice(cut, T),
+        Trajectory(traj.x[cut:], traj.y[cut:], traj.s[cut:]),
+        initial=boundary,
+    ).total
+    assert full == pytest.approx(first + second, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), alpha=st.floats(0.1, 10.0))
+def test_cost_linear_in_allocation_prices(seed, alpha):
+    net = make_network()
+    inst = make_instance(net, horizon=6, seed=seed % 50)
+    rng = np.random.default_rng(seed)
+    traj = random_trajectory(rng, 6, net.n_edges)
+    base = evaluate_cost(inst, traj)
+    scaled_inst = inst.with_data(
+        tier2_price=inst.tier2_price * alpha, link_price=inst.link_price * alpha
+    )
+    scaled = evaluate_cost(scaled_inst, traj)
+    assert scaled.allocation_total == pytest.approx(
+        alpha * base.allocation_total, rel=1e-9
+    )
+    assert scaled.reconfiguration_total == pytest.approx(
+        base.reconfiguration_total, rel=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_constant_trajectory_pays_reconfiguration_once(seed):
+    net = make_network()
+    inst = make_instance(net, horizon=8, seed=seed % 50)
+    rng = np.random.default_rng(seed)
+    level = rng.random(net.n_edges) + 0.1
+    traj = Trajectory(
+        np.tile(level, (8, 1)), np.tile(level, (8, 1)), np.tile(level * 0.5, (8, 1))
+    )
+    cost = evaluate_cost(inst, traj)
+    X = net.aggregate_tier2(level)
+    expected = float(X @ net.tier2_recon_price + level @ net.edge_recon_price)
+    assert cost.reconfiguration_total == pytest.approx(expected, rel=1e-9)

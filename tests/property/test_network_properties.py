@@ -1,0 +1,55 @@
+"""Property-based tests of the network aggregation operators."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from conftest import make_network  # noqa: E402
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n2=st.integers(1, 6),
+    n1=st.integers(1, 8),
+    k=st.integers(1, 3),
+)
+def test_aggregation_is_linear(seed, n2, n1, k):
+    k = min(k, n2)
+    net = make_network(n_tier2=n2, n_tier1=n1, k=k)
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=net.n_edges)
+    b = rng.normal(size=net.n_edges)
+    alpha = rng.normal()
+    np.testing.assert_allclose(
+        net.aggregate_tier2(alpha * a + b),
+        alpha * net.aggregate_tier2(a) + net.aggregate_tier2(b),
+        atol=1e-9,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), n2=st.integers(1, 6), n1=st.integers(1, 8))
+def test_expand_is_adjoint_of_aggregate(seed, n2, n1):
+    """<aggregate(e), c> == <e, expand(c)> (transpose pair)."""
+    net = make_network(n_tier2=n2, n_tier1=n1, k=1)
+    rng = np.random.default_rng(seed)
+    e = rng.normal(size=net.n_edges)
+    c = rng.normal(size=net.n_tier2)
+    lhs = float(net.aggregate_tier2(e) @ c)
+    rhs = float(e @ net.expand_tier2(c))
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), n2=st.integers(2, 6), n1=st.integers(2, 8))
+def test_aggregate_preserves_total_mass(seed, n2, n1):
+    net = make_network(n_tier2=n2, n_tier1=n1, k=2)
+    rng = np.random.default_rng(seed)
+    e = rng.random(net.n_edges)
+    assert net.aggregate_tier2(e).sum() == pytest.approx(e.sum())
+    assert net.aggregate_tier1(e).sum() == pytest.approx(e.sum())

@@ -1,0 +1,65 @@
+"""Property-based tests for the N-tier substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import Cloud
+from repro.ntier import (
+    LayeredNetwork,
+    LayerLink,
+    NTierConfig,
+    NTierInstance,
+    NTierRegularizedOnline,
+    solve_ntier_offline,
+)
+
+
+def random_layered(rng, n_edge, n_mid, n_top):
+    edge = [Cloud(f"e{j}", np.inf) for j in range(n_edge)]
+    mid = [Cloud(f"m{u}", 6.0 + 4 * rng.random(), 30.0) for u in range(n_mid)]
+    top = [Cloud(f"t{u}", 8.0 + 6 * rng.random(), 40.0) for u in range(n_top)]
+    links = []
+    for j in range(n_edge):
+        for u in {j % n_mid, (j + 1) % n_mid}:
+            links.append(LayerLink(1, j, u, 5.0 + 3 * rng.random(), 20.0))
+    for u in range(n_mid):
+        for v in {u % n_top, (u + 1) % n_top}:
+            links.append(LayerLink(2, u, v, 6.0 + 3 * rng.random(), 20.0))
+    return LayeredNetwork([edge, mid, top], links)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    n_edge=st.integers(2, 4),
+    n_mid=st.integers(2, 3),
+    n_top=st.integers(1, 3),
+    T=st.integers(2, 5),
+)
+def test_online_feasible_and_above_offline(seed, n_edge, n_mid, n_top, T):
+    rng = np.random.default_rng(seed)
+    net = random_layered(rng, n_edge, n_mid, n_top)
+    lam = 0.4 + 0.8 * rng.random((T, n_edge))
+    inst = NTierInstance(
+        net,
+        lam,
+        0.5 + rng.random((T, net.n_upper_nodes)),
+        0.2 + 0.2 * rng.random((T, net.n_links)),
+    )
+    online = NTierRegularizedOnline(NTierConfig(epsilon=1e-2)).run(inst)
+    assert inst.check_feasible(online)
+    off = solve_ntier_offline(inst)
+    assert off.objective <= inst.cost(online) + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000), n_edge=st.integers(2, 5))
+def test_path_structure_invariants(seed, n_edge):
+    rng = np.random.default_rng(seed)
+    net = random_layered(rng, n_edge, 3, 2)
+    # Each path visits exactly one node per upper tier, one link per stage.
+    assert np.all(net.path_node_incidence.sum(axis=1) == 2)
+    assert np.all(net.path_link_incidence.sum(axis=1) == 2)
+    # Origin incidence partitions the paths.
+    assert net.origin_incidence.sum() == net.n_paths

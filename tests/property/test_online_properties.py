@@ -1,0 +1,63 @@
+"""Property-based end-to-end invariants of the online algorithm."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from conftest import make_instance, make_network  # noqa: E402
+
+from repro.core import OnlineConfig, RegularizedOnline, theorem1_ratio  # noqa: E402
+from repro.model import check_trajectory, evaluate_cost  # noqa: E402
+from repro.offline import solve_offline  # noqa: E402
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    T=st.integers(2, 8),
+    epsilon=st.sampled_from([1e-3, 1e-2, 1.0]),
+)
+def test_online_feasible_on_random_instances(seed, T, epsilon):
+    """Lemma 1 end to end: every per-slot decision is feasible for P1."""
+    net = make_network(n_tier2=3, n_tier1=4, k=2)
+    inst = make_instance(net, horizon=T, seed=seed)
+    traj = RegularizedOnline(OnlineConfig(epsilon=epsilon)).run(inst)
+    rep = check_trajectory(inst, traj)
+    assert rep.ok, rep.describe()
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1000), T=st.integers(2, 8))
+def test_theorem1_bound_holds(seed, T):
+    """The realized ratio never exceeds the worst-case guarantee."""
+    net = make_network(n_tier2=3, n_tier1=4, k=2)
+    inst = make_instance(net, horizon=T, seed=seed)
+    eps = 1e-2
+    on = evaluate_cost(
+        inst, RegularizedOnline(OnlineConfig(epsilon=eps)).run(inst)
+    ).total
+    off = solve_offline(inst).objective
+    if off > 1e-9:
+        assert on / off <= theorem1_ratio(net, eps) + 1e-6
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_tier2_totals_never_spike_above_need(seed):
+    """Totals are bounded by max(previous totals, current requirement)."""
+    net = make_network(n_tier2=3, n_tier1=4, k=2)
+    inst = make_instance(net, horizon=6, seed=seed)
+    traj = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+    X = traj.tier2_totals(net)
+    total = X.sum(axis=1)
+    demand = inst.workload.sum(axis=1)
+    prev = 0.0
+    for t in range(inst.horizon):
+        # Aggregate allocation never exceeds what covering the current
+        # demand from scratch plus the decayed past could justify.
+        assert total[t] <= max(prev, demand[t]) + demand[t] + 1e-6
+        prev = total[t]

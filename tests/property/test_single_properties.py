@@ -1,0 +1,99 @@
+"""Property-based tests for the scalar problem and its algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    SingleResourceProblem,
+    single_greedy,
+    single_offline_optimal,
+    single_online_decay,
+)
+
+CAPACITY = 10.0
+
+workloads = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=20),
+    elements=st.floats(0.0, CAPACITY, allow_nan=False),
+)
+prices = st.floats(0.01, 10.0)
+recon = st.floats(0.0, 100.0)
+eps = st.floats(1e-3, 100.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lam=workloads, a=prices, b=recon, epsilon=eps)
+def test_online_always_feasible(lam, a, b, epsilon):
+    prob = SingleResourceProblem(lam, a, CAPACITY, b)
+    x = single_online_decay(prob, epsilon)
+    assert prob.is_feasible(x)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lam=workloads, a=prices, b=recon, epsilon=eps)
+def test_online_dominates_workload_and_decay(lam, a, b, epsilon):
+    """x_t equals max(workload, decayed previous) — never above both."""
+    prob = SingleResourceProblem(lam, a, CAPACITY, b)
+    x = single_online_decay(prob, epsilon)
+    prev = 0.0
+    for t in range(len(lam)):
+        assert x[t] >= lam[t] - 1e-12
+        # Never exceeds max(workload, previous level) (no spurious buying).
+        assert x[t] <= max(lam[t], prev) + 1e-9
+        prev = x[t]
+
+
+@settings(max_examples=40, deadline=None)
+@given(lam=workloads, a=prices, b=recon)
+def test_offline_lower_bounds_online_and_greedy(lam, a, b):
+    prob = SingleResourceProblem(lam, a, CAPACITY, b)
+    x_opt, c_opt = single_offline_optimal(prob)
+    assert prob.is_feasible(x_opt)
+    assert c_opt <= prob.cost(single_greedy(prob)) + 1e-6
+    assert c_opt <= prob.cost(single_online_decay(prob, 0.1)) + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(lam=workloads, a=prices, b=recon)
+def test_greedy_optimal_when_recon_free(lam, a, b):
+    """With b = 0, following the workload is offline-optimal."""
+    prob = SingleResourceProblem(lam, a, CAPACITY, 0.0)
+    _, c_opt = single_offline_optimal(prob)
+    assert prob.cost(single_greedy(prob)) == pytest.approx(c_opt, abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(lam=workloads, a=prices, b=st.floats(0.1, 100.0))
+def test_cost_monotone_in_recon_price(lam, a, b):
+    prob_lo = SingleResourceProblem(lam, a, CAPACITY, b)
+    prob_hi = SingleResourceProblem(lam, a, CAPACITY, 2 * b)
+    _, c_lo = single_offline_optimal(prob_lo)
+    _, c_hi = single_offline_optimal(prob_hi)
+    assert c_hi >= c_lo - 1e-8
+
+
+@settings(max_examples=40, deadline=None)
+@given(lam=workloads, a=prices, b=recon, scale=st.floats(0.1, 5.0))
+def test_offline_cost_scales_with_prices(lam, a, b, scale):
+    """Scaling every price scales the optimal cost (LP homogeneity)."""
+    prob = SingleResourceProblem(lam, a, CAPACITY, b)
+    scaled = SingleResourceProblem(lam, a * scale, CAPACITY, b * scale)
+    _, c1 = single_offline_optimal(prob)
+    _, c2 = single_offline_optimal(scaled)
+    assert c2 == pytest.approx(scale * c1, rel=1e-6, abs=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(lam=workloads, a=prices, b=recon)
+def test_workload_domination(lam, a, b):
+    """A pointwise-larger workload can only cost more offline."""
+    prob = SingleResourceProblem(lam, a, CAPACITY, b)
+    bigger = SingleResourceProblem(
+        np.minimum(lam * 1.3, CAPACITY), a, CAPACITY, b
+    )
+    _, c1 = single_offline_optimal(prob)
+    _, c2 = single_offline_optimal(bigger)
+    assert c2 >= c1 - 1e-8

@@ -1,0 +1,87 @@
+"""Property-based cross-validation of the convex solver backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers import (
+    SeparableObjective,
+    SmoothConvexProgram,
+    SolverOptions,
+    first_order_certificate,
+)
+from repro.solvers.convex import EntropicTerm
+
+
+def random_program(seed: int, n: int, m: int) -> SmoothConvexProgram:
+    """Random feasible covering-style program with entropic terms."""
+    rng = np.random.default_rng(seed)
+    linear = rng.uniform(0.1, 3.0, n)
+    ref = rng.uniform(0.0, 1.5, n)
+    weight = rng.uniform(0.0, 5.0, n)
+    term = EntropicTerm(np.arange(n), weight, eps=rng.uniform(0.01, 0.5), ref=ref)
+    obj = SeparableObjective(n, linear, [term])
+    ub = rng.uniform(1.0, 3.0, n)
+    # m covering rows over random supports, feasible by construction:
+    # rhs = 50% of what the box's midpoint provides.
+    A_rows, b_rows = [], []
+    for _ in range(m):
+        support = rng.random(n) < 0.6
+        if not support.any():
+            support[rng.integers(n)] = True
+        coef = np.where(support, rng.uniform(0.5, 2.0, n), 0.0)
+        rhs = 0.5 * float(coef @ (ub / 2))
+        A_rows.append(-coef)
+        b_rows.append(-rhs)
+    return SmoothConvexProgram(
+        obj, np.array(A_rows), np.array(b_rows), np.zeros(n), ub
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 12),
+    m=st.integers(1, 6),
+)
+def test_backends_agree_and_certify(seed, n, m):
+    prog = random_program(seed, n, m)
+    vb = prog.solve(options=SolverOptions(backend="barrier", fallback=False))
+    vt = prog.solve(options=SolverOptions(backend="trust-constr"))
+    fb, ft = prog.objective.value(vb), prog.objective.value(vt)
+    # trust-constr is a loose cross-check; the barrier result must
+    # agree within its tolerance and never be meaningfully worse.
+    assert fb == pytest.approx(ft, rel=1e-2, abs=1e-3)
+    assert fb <= ft + 1e-4 * (1.0 + abs(ft))
+    assert prog.residual(vb) <= 1e-7
+    assert first_order_certificate(prog, vb, active_tol=1e-4) >= -1e-3
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 10))
+def test_warm_start_does_not_change_optimum(seed, n):
+    prog = random_program(seed, n, 2)
+    v1 = prog.solve()
+    rng = np.random.default_rng(seed + 1)
+    v0 = np.clip(v1 + rng.normal(0, 0.05, n), 1e-6, prog.ub - 1e-6)
+    v2 = prog.solve(v0=v0)
+    assert prog.objective.value(v2) == pytest.approx(
+        prog.objective.value(v1), rel=1e-4, abs=1e-6
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 10))
+def test_optimum_invariant_to_row_scaling(seed, n):
+    """Scaling constraint rows leaves the feasible set and optimum unchanged."""
+    prog = random_program(seed, n, 3)
+    scaled = SmoothConvexProgram(
+        prog.objective,
+        prog.A.toarray() * 7.5,
+        prog.b * 7.5,
+        prog.lb,
+        prog.ub,
+    )
+    f1 = prog.objective.value(prog.solve())
+    f2 = prog.objective.value(scaled.solve())
+    assert f1 == pytest.approx(f2, rel=1e-4, abs=1e-6)

@@ -1,0 +1,63 @@
+"""Tests for the terminal chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.ascii_chart import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_glyphs(self):
+        s = sparkline(np.arange(8.0))
+        assert len(s) == 8
+        assert s[0] == "▁" and s[-1] == "█"
+        assert list(s) == sorted(s)
+
+    def test_constant_series_flat(self):
+        s = sparkline(np.full(5, 3.0))
+        assert len(set(s)) == 1
+
+    def test_downsampling(self):
+        s = sparkline(np.arange(100.0), width=10)
+        assert len(s) == 10
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart({"a": np.arange(20.0)}, width=40, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 8 + 2  # canvas + axis + legend
+        assert all(len(l) >= 40 for l in lines[:8])
+
+    def test_legend_contains_names(self):
+        chart = line_chart({"up": np.arange(5.0), "down": np.arange(5.0)[::-1]})
+        assert "up" in chart and "down" in chart
+
+    def test_distinct_glyphs_per_series(self):
+        chart = line_chart({"a": np.zeros(5), "b": np.ones(5)})
+        assert "*" in chart and "o" in chart
+
+    def test_axis_ticks_show_range(self):
+        chart = line_chart({"a": np.array([2.0, 10.0])})
+        assert "10" in chart and "2" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": np.arange(3.0)}, width=4)
+        with pytest.raises(ValueError):
+            line_chart({"a": np.array([])})
+
+
+class TestCLIPlot:
+    def test_run_fig4_with_plot(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig4", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "wikipedia" in out
+        assert "+----" in out  # the chart axis

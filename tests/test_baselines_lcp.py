@@ -1,0 +1,87 @@
+"""Tests for the LCP-M baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LCPM
+from repro.baselines.lcp import _lazy
+from repro.model import Instance, check_trajectory, evaluate_cost
+from repro.offline import solve_offline
+
+from conftest import make_instance, make_network
+
+
+class TestLazyClamp:
+    def test_inside_band_keeps_previous(self):
+        prev = np.array([2.0])
+        assert _lazy(prev, np.array([1.0]), np.array([3.0]))[0] == 2.0
+
+    def test_below_band_raises_to_lower(self):
+        assert _lazy(np.array([0.5]), np.array([1.0]), np.array([3.0]))[0] == 1.0
+
+    def test_above_band_drops_to_upper(self):
+        assert _lazy(np.array([5.0]), np.array([1.0]), np.array([3.0]))[0] == 3.0
+
+    def test_degenerate_band_resolves_to_lower(self):
+        assert _lazy(np.array([5.0]), np.array([2.0]), np.array([1.0]))[0] == 2.0
+
+
+class TestLCPM:
+    def test_feasible(self, small_instance):
+        traj = LCPM().run(small_instance)
+        assert check_trajectory(small_instance, traj).ok
+
+    def test_at_least_offline(self, small_instance):
+        traj = LCPM().run(small_instance)
+        off = solve_offline(small_instance)
+        assert evaluate_cost(small_instance, traj).total >= off.objective - 1e-6
+
+    def test_lookback_window_feasible(self, small_instance):
+        traj = LCPM(lookback=4).run(small_instance)
+        assert check_trajectory(small_instance, traj).ok
+
+    def test_lookback_validation(self):
+        with pytest.raises(ValueError):
+            LCPM(lookback=0)
+
+    def test_online_beats_lcpm_on_vee(self, small_network):
+        """Fig 7's shape: the regularized online algorithm outperforms
+        LCP-M in the multi-cloud setting (per-variable lazy clamping
+        composes badly with shifting LP routings — the very reason the
+        paper notes LCP does not generalize to multiple clouds)."""
+        from repro.core import OnlineConfig, RegularizedOnline
+
+        T = 10
+        vee = np.concatenate([np.linspace(4.0, 0.5, 5), np.linspace(0.5, 4.0, 5)])
+        lam = vee[:, None] * np.ones((1, small_network.n_tier1))
+        inst = Instance(
+            small_network,
+            lam,
+            0.01 * np.ones((T, small_network.n_tier2)),
+            0.01 * np.ones((T, small_network.n_edges)),
+        )
+        lcp_cost = evaluate_cost(inst, LCPM().run(inst)).total
+        online_cost = evaluate_cost(
+            inst, RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+        ).total
+        assert online_cost <= lcp_cost + 1e-6
+
+    def test_single_cloud_lcp_matches_lazy_optimum_shape(self):
+        """On a single cloud (the setting LCP was designed for) the lazy
+        clamp holds allocation through a valley instead of re-buying."""
+        from repro.model import Cloud, CloudNetwork, SLAEdge
+
+        net = CloudNetwork(
+            [Cloud("i", 10.0, recon_price=50.0)],
+            [Cloud("j", np.inf)],
+            [SLAEdge(0, 0, 10.0, recon_price=0.0)],
+        )
+        vee = np.concatenate([np.linspace(4.0, 0.5, 5), np.linspace(0.5, 4.0, 5)])
+        T = len(vee)
+        inst = Instance(
+            net, vee[:, None], 0.01 * np.ones((T, 1)), np.zeros((T, 1))
+        )
+        traj = LCPM().run(inst)
+        X = traj.tier2_totals(net)[:, 0]
+        # Never re-buys: allocation stays at the peak through the valley.
+        assert X.min() >= vee[0] - 1e-6

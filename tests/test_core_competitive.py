@@ -1,0 +1,108 @@
+"""Tests for the competitive-ratio formulas (Theorem 1 / N-tier)."""
+
+import numpy as np
+import pytest
+
+from repro.core import empirical_ratio, theorem1_ratio
+from repro.core.competitive import (
+    capacity_term,
+    ntier_ratio,
+    theorem1_ratio_normalized,
+)
+
+from conftest import make_network
+
+
+class TestCapacityTerm:
+    def test_formula(self):
+        caps = np.array([2.0, 5.0])
+        eps = 0.5
+        expected = max((c + eps) * np.log1p(c / eps) for c in caps)
+        assert capacity_term(caps, eps) == pytest.approx(expected)
+
+    def test_decreasing_in_epsilon(self):
+        caps = np.array([3.0])
+        values = [capacity_term(caps, e) for e in (1e-3, 1e-2, 1e-1, 1.0, 10.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            capacity_term(np.array([1.0]), 0.0)
+
+    def test_empty_is_zero(self):
+        assert capacity_term(np.array([]), 1.0) == 0.0
+
+
+class TestTheorem1:
+    def test_value_matches_formula(self):
+        net = make_network()
+        eps = 0.1
+        expected = 1.0 + net.n_tier2 * (
+            capacity_term(net.tier2_capacity, eps)
+            + capacity_term(net.edge_capacity, eps)
+        )
+        assert theorem1_ratio(net, eps) == pytest.approx(expected)
+
+    def test_always_above_one(self):
+        net = make_network()
+        for eps in (1e-3, 1.0, 1e3):
+            assert theorem1_ratio(net, eps) > 1.0
+
+    def test_decreasing_in_epsilon(self):
+        net = make_network()
+        vals = [theorem1_ratio(net, e) for e in (1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_separate_epsilon_prime(self):
+        net = make_network()
+        assert theorem1_ratio(net, 0.1, epsilon_prime=10.0) < theorem1_ratio(net, 0.1)
+
+    def test_normalized_smaller_than_raw_for_large_caps(self):
+        net = make_network(tier2_capacity=500.0, edge_capacity=300.0)
+        assert theorem1_ratio_normalized(net, 0.1) < theorem1_ratio(net, 0.1)
+
+
+class TestNTierRatio:
+    def test_reduces_to_theorem1_at_two_tiers(self):
+        net = make_network()
+        eps = 0.2
+        r2 = theorem1_ratio(net, eps)
+        rn = ntier_ratio(
+            [net.tier2_capacity], [net.edge_capacity], eps
+        )
+        assert rn == pytest.approx(r2)
+
+    def test_more_tiers_larger_ratio(self):
+        caps = np.array([5.0, 5.0])
+        links = np.array([3.0, 3.0])
+        r2 = ntier_ratio([caps], [links], 0.1)
+        r3 = ntier_ratio([caps, caps], [links, links], 0.1)
+        assert r3 > r2
+
+    def test_empty_is_one(self):
+        assert ntier_ratio([], [], 0.1) == 1.0
+
+
+class TestEmpiricalRatio:
+    def test_basic(self):
+        assert empirical_ratio(3.0, 2.0) == pytest.approx(1.5)
+
+    def test_zero_offline_zero_online(self):
+        assert empirical_ratio(0.0, 0.0) == 1.0
+
+    def test_zero_offline_positive_online(self):
+        assert empirical_ratio(1.0, 0.0) == np.inf
+
+
+class TestBoundHolds:
+    def test_online_cost_within_theorem1_bound(self, small_instance):
+        """The realized ratio must respect the worst-case guarantee."""
+        from repro.core import OnlineConfig, RegularizedOnline
+        from repro.model import evaluate_cost
+        from repro.offline import solve_offline
+
+        eps = 1e-2
+        on = RegularizedOnline(OnlineConfig(epsilon=eps)).run(small_instance)
+        off = solve_offline(small_instance)
+        actual = evaluate_cost(small_instance, on).total / off.objective
+        assert actual <= theorem1_ratio(small_instance.network, eps)

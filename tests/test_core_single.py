@@ -1,0 +1,203 @@
+"""Tests for the single-resource special case (Section III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SingleResourceProblem,
+    single_fhc,
+    single_greedy,
+    single_offline_optimal,
+    single_online_decay,
+    single_rhc,
+    vee_workload,
+)
+
+
+def problem(lam, a=1.0, C=10.0, b=5.0):
+    return SingleResourceProblem(np.asarray(lam, float), a, C, b)
+
+
+class TestProblemValidation:
+    def test_workload_above_capacity_rejected(self):
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            problem([11.0], C=10.0)
+
+    def test_negative_recon_rejected(self):
+        with pytest.raises(ValueError, match="recon_price"):
+            problem([1.0], b=-1.0)
+
+    def test_cost_hand_computed(self):
+        p = problem([2.0, 1.0, 3.0], a=1.0, b=10.0)
+        x = np.array([2.0, 2.0, 3.0])
+        # Alloc: 2 + 2 + 3 = 7; recon: 10*(2 + 0 + 1) = 30.
+        assert p.cost(x) == pytest.approx(37.0)
+
+    def test_is_feasible(self):
+        p = problem([2.0, 1.0])
+        assert p.is_feasible(np.array([2.0, 1.5]))
+        assert not p.is_feasible(np.array([1.0, 1.5]))
+        assert not p.is_feasible(np.array([11.0, 1.5]))
+
+
+class TestOnlineDecay:
+    def test_covers_workload(self):
+        lam = vee_workload(5.0, 1.0, 6, 6)
+        x = single_online_decay(problem(lam), epsilon=0.1)
+        assert np.all(x >= lam - 1e-12)
+
+    def test_follows_increasing_workload_exactly(self):
+        lam = np.linspace(1.0, 8.0, 10)
+        x = single_online_decay(problem(lam), epsilon=0.1)
+        np.testing.assert_allclose(x, lam)
+
+    def test_decay_matches_closed_form(self):
+        """On a drop to zero demand, x_t follows eq. (6) exactly."""
+        C, b, eps, a = 10.0, 5.0, 0.1, 1.0
+        lam = np.array([8.0] + [0.0] * 5)
+        x = single_online_decay(problem(lam, a=a, C=C, b=b), epsilon=eps)
+        expected = 8.0
+        decay = (1.0 + C / eps) ** (-a / b)
+        for t in range(1, 6):
+            expected = decay * (expected + eps) - eps
+            assert x[t] == pytest.approx(max(expected, 0.0))
+
+    def test_decay_is_monotone_decreasing_after_peak(self):
+        lam = np.array([9.0] + [0.0] * 8)
+        x = single_online_decay(problem(lam, b=50.0), epsilon=1e-2)
+        assert np.all(np.diff(x[0:]) <= 1e-12)
+
+    def test_zero_recon_price_reduces_to_greedy(self):
+        lam = vee_workload(5.0, 1.0, 5, 5)
+        p = problem(lam, b=0.0)
+        np.testing.assert_allclose(
+            single_online_decay(p, epsilon=0.1), single_greedy(p)
+        )
+
+    def test_larger_b_decays_slower(self):
+        lam = np.array([9.0] + [0.0] * 5)
+        slow = single_online_decay(problem(lam, b=100.0), epsilon=0.1)
+        fast = single_online_decay(problem(lam, b=1.0), epsilon=0.1)
+        assert np.all(slow[1:] >= fast[1:] - 1e-12)
+
+    def test_epsilon_must_be_positive(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            single_online_decay(problem([1.0]), epsilon=0.0)
+
+    def test_never_exceeds_capacity(self):
+        lam = np.array([10.0, 0.0, 10.0, 0.0])
+        x = single_online_decay(problem(lam, C=10.0, b=1e4), epsilon=1e-3)
+        assert np.all(x <= 10.0 + 1e-12)
+
+
+class TestOfflineOptimal:
+    def test_lower_bound_everywhere(self):
+        rng = np.random.default_rng(0)
+        lam = rng.random(12) * 8
+        p = problem(lam, a=rng.random(12) + 0.1, b=7.0)
+        x_opt, c_opt = single_offline_optimal(p)
+        assert p.is_feasible(x_opt)
+        for algo in (single_greedy(p), single_online_decay(p, 0.1)):
+            assert c_opt <= p.cost(algo) + 1e-8
+
+    def test_flat_workload_no_extra_recon(self):
+        p = problem([3.0] * 5, b=100.0)
+        x, c = single_offline_optimal(p)
+        np.testing.assert_allclose(x, 3.0, atol=1e-9)
+        assert c == pytest.approx(5 * 3.0 + 100.0 * 3.0)
+
+    def test_bridges_valley_when_recon_expensive(self):
+        """Lemma 2: for b >> sum of prices the optimum holds the peak."""
+        lam = vee_workload(5.0, 0.5, 6, 6)
+        p = problem(lam, a=0.1, b=1000.0)
+        x, _ = single_offline_optimal(p)
+        np.testing.assert_allclose(x, 5.0, atol=1e-6)
+
+    def test_follows_workload_when_recon_free(self):
+        lam = vee_workload(5.0, 0.5, 4, 4)
+        p = problem(lam, b=0.0)
+        x, _ = single_offline_optimal(p)
+        np.testing.assert_allclose(x, lam, atol=1e-9)
+
+    def test_terminal_pinning_charges_rampup(self):
+        p = problem([1.0, 1.0], a=1.0, b=10.0)
+        x_free, c_free = single_offline_optimal(p)
+        x_pin, c_pin = single_offline_optimal(p, terminal=5.0)
+        # Pinned version must pre-pay the jump to 5: +10*(5-1).
+        assert c_pin == pytest.approx(c_free + 40.0)
+
+
+class TestWindowedControls:
+    def test_window_one_is_greedy(self):
+        rng = np.random.default_rng(1)
+        lam = rng.random(10) * 5
+        p = problem(lam, b=20.0)
+        np.testing.assert_allclose(single_fhc(p, 1), single_greedy(p), atol=1e-9)
+        np.testing.assert_allclose(single_rhc(p, 1), single_greedy(p), atol=1e-9)
+
+    def test_full_window_fhc_is_offline(self):
+        rng = np.random.default_rng(2)
+        lam = rng.random(8) * 5
+        p = problem(lam, b=20.0)
+        x_opt, c_opt = single_offline_optimal(p)
+        assert p.cost(single_fhc(p, 8)) == pytest.approx(c_opt, rel=1e-8)
+
+    def test_fhc_rhc_feasible(self):
+        lam = vee_workload(5.0, 1.0, 5, 5)
+        p = problem(lam, b=30.0)
+        for w in (2, 3, 4):
+            assert p.is_feasible(single_fhc(p, w))
+            assert p.is_feasible(single_rhc(p, w))
+
+    def test_window_validation(self):
+        p = problem([1.0])
+        with pytest.raises(ValueError):
+            single_fhc(p, 0)
+        with pytest.raises(ValueError):
+            single_rhc(p, 0)
+
+
+class TestTheorems2And3:
+    def test_greedy_ratio_grows_with_recon_price(self):
+        """Theorem 2 on repeated valleys: ratio grows with b."""
+        one = vee_workload(1.0, 0.05, 8, 8)
+        lam = np.concatenate([one] + [one[1:]] * 3)
+        ratios = []
+        for b in (1.0, 10.0, 100.0, 1000.0):
+            p = SingleResourceProblem(lam, 0.05, 1.0, b)
+            _, opt = single_offline_optimal(p)
+            ratios.append(p.cost(single_greedy(p)) / opt)
+        assert all(r2 > r1 for r1, r2 in zip(ratios, ratios[1:]))
+        assert ratios[-1] > 2.5
+
+    def test_fhc_blows_up_but_online_does_not(self):
+        """Theorem 3: short-window FHC degrades; online stays bounded."""
+        one = vee_workload(1.0, 0.05, 10, 10)
+        lam = np.concatenate([one] + [one[1:]] * 3)
+        p = SingleResourceProblem(lam, 0.05, 1.0, 500.0)
+        _, opt = single_offline_optimal(p)
+        fhc_ratio = p.cost(single_fhc(p, 3)) / opt
+        online_ratio = p.cost(single_online_decay(p, epsilon=1e-2)) / opt
+        assert fhc_ratio > 2.0
+        assert online_ratio < 1.5
+        assert online_ratio < fhc_ratio
+
+
+class TestVeeWorkload:
+    def test_shape(self):
+        lam = vee_workload(4.0, 1.0, 4, 5)
+        assert lam[0] == 4.0 and lam[-1] == 4.0
+        assert lam.min() == 1.0
+        assert len(lam) == 8  # 4 + 5 - 1 (shared valley point)
+
+    def test_strict_monotonicity(self):
+        lam = vee_workload(4.0, 1.0, 5, 5)
+        k = int(np.argmin(lam))
+        assert np.all(np.diff(lam[: k + 1]) < 0)
+        assert np.all(np.diff(lam[k:]) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vee_workload(1.0, 2.0, 4, 4)
+        with pytest.raises(ValueError):
+            vee_workload(2.0, 1.0, 1, 4)

@@ -1,0 +1,54 @@
+"""Warm-start correctness: the optimization must not change results."""
+
+import numpy as np
+import pytest
+
+from repro.core.subproblem import RegularizedSubproblem, SubproblemConfig
+from repro.model import Allocation
+
+from conftest import make_instance, make_network
+
+
+class TestWarmStartEquivalence:
+    def test_chain_with_and_without_warm_start_identical(self):
+        net = make_network()
+        inst = make_instance(net, horizon=10, seed=4)
+        sub = RegularizedSubproblem(net, SubproblemConfig(epsilon=1e-2))
+
+        prev_cold = Allocation.zeros(net.n_edges)
+        prev_warm = Allocation.zeros(net.n_edges)
+        warm = None
+        for t in range(inst.horizon):
+            prev_cold = sub.solve(
+                inst.workload[t], inst.tier2_price[t], inst.link_price[t], prev_cold
+            )
+            prev_warm, warm = sub.solve_reduced(
+                inst.workload[t],
+                inst.tier2_price[t],
+                inst.link_price[t],
+                prev_warm,
+                warm=warm,
+            )
+            np.testing.assert_allclose(
+                prev_warm.tier2_totals(net),
+                prev_cold.tier2_totals(net),
+                rtol=1e-4,
+                atol=1e-6,
+            )
+            np.testing.assert_allclose(prev_warm.y, prev_cold.y, rtol=1e-4, atol=1e-6)
+
+    def test_stale_warm_start_rejected_gracefully(self):
+        """A warm vector violating the new constraints must be ignored."""
+        net = make_network()
+        inst = make_instance(net, horizon=2, seed=5)
+        sub = RegularizedSubproblem(net, SubproblemConfig(epsilon=1e-2))
+        bogus = np.full(sub.n_vars, -5.0)  # wildly infeasible
+        alloc, _ = sub.solve_reduced(
+            inst.workload[0],
+            inst.tier2_price[0],
+            inst.link_price[0],
+            Allocation.zeros(net.n_edges),
+            warm=bogus,
+        )
+        cov = net.aggregate_tier1(alloc.s)
+        assert np.all(cov >= inst.workload[0] - 1e-6)

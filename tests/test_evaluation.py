@@ -1,0 +1,181 @@
+"""Tests for the evaluation harness (runner, metrics, reporting, registry)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineConfig, RegularizedOnline
+from repro.evaluation import (
+    ExperimentScale,
+    cost_over_time,
+    format_table,
+    normalized_costs,
+    run_algorithm,
+    run_suite,
+    summarize_costs,
+)
+from repro.evaluation import experiments
+from repro.evaluation.runner import OfflineOracle
+from repro.offline import GreedyOneShot
+
+from conftest import make_instance, make_network
+
+
+class TestRunner:
+    def test_run_algorithm_scores(self, small_instance):
+        res = run_algorithm("online", RegularizedOnline(OnlineConfig(epsilon=1e-2)),
+                            small_instance)
+        assert res.feasible
+        assert res.total > 0
+        assert res.runtime > 0
+        assert res.cost.per_slot.shape == (small_instance.horizon,)
+
+    def test_run_suite(self, small_instance):
+        results = run_suite(
+            small_instance,
+            {"greedy": GreedyOneShot(), "offline": OfflineOracle()},
+        )
+        assert set(results) == {"greedy", "offline"}
+        assert results["offline"].total <= results["greedy"].total + 1e-6
+
+
+class TestMetrics:
+    def test_normalized_costs(self, small_instance):
+        results = run_suite(
+            small_instance,
+            {"greedy": GreedyOneShot(), "offline": OfflineOracle()},
+        )
+        norm = normalized_costs(results, reference="offline")
+        assert norm["offline"] == pytest.approx(1.0)
+        assert norm["greedy"] >= 1.0 - 1e-9
+
+    def test_missing_reference(self, small_instance):
+        results = run_suite(small_instance, {"greedy": GreedyOneShot()})
+        with pytest.raises(KeyError):
+            normalized_costs(results, reference="offline")
+
+    def test_cost_over_time_monotone(self, small_instance):
+        res = run_algorithm("greedy", GreedyOneShot(), small_instance)
+        series = cost_over_time(res)
+        assert np.all(np.diff(series) >= -1e-9)
+
+    def test_summarize_rows(self, small_instance):
+        results = run_suite(small_instance, {"greedy": GreedyOneShot()})
+        rows = summarize_costs(results)
+        assert rows[0][0] == "greedy"
+        assert rows[0][5] is True
+
+
+class TestReporting:
+    def test_format_table_aligned(self):
+        text = format_table(["a", "bb"], [(1, 2.0), (10, 0.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_experiment_result_render_and_column(self):
+        from repro.evaluation.reporting import ExperimentResult
+
+        r = ExperimentResult("x", ["k", "v"], [(1, 2.0), (2, 3.0)], notes=["hello"])
+        assert "hello" in r.render()
+        assert r.column("v") == [2.0, 3.0]
+
+
+class TestScale:
+    def test_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        s = ExperimentScale.from_env()
+        assert not s.full
+        assert s.n_tier2 is not None
+
+    def test_from_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        s = ExperimentScale.from_env()
+        assert s.full
+        assert s.n_tier2 is None
+        assert s.horizon_wiki == 500
+        assert s.horizon_worldcup == 600
+
+
+class TestRegistrySmoke:
+    """Every experiment function runs end to end at tiny scale."""
+
+    def test_table1(self):
+        r = experiments.table1_electricity(horizon=500)
+        assert len(r.rows) == 8
+
+    def test_table2(self):
+        r = experiments.table2_bandwidth()
+        prices = r.column("price_per_gb")
+        assert all(a >= b for a, b in zip(prices, prices[1:]))
+
+    def test_fig4(self):
+        r = experiments.fig4_workloads(ExperimentScale.tiny())
+        assert {row[0] for row in r.rows} == {"wikipedia", "worldcup"}
+
+    def test_fig5(self):
+        r = experiments.fig5_cost_no_prediction(
+            ExperimentScale.tiny(), recon_weights=(10.0, 1e3)
+        )
+        for row in r.rows:
+            assert row[6] >= 1.0 - 1e-9  # online/offline
+            assert row[5] >= 1.0 - 1e-9  # one-shot/offline
+
+    def test_fig6(self):
+        r = experiments.fig6_ratio_vs_epsilon(
+            ExperimentScale.tiny(), epsilons=(1e-2, 1.0), recon_weights=(1e2,)
+        )
+        for row in r.rows:
+            actual, bound = row[3], row[4]
+            assert 1.0 - 1e-9 <= actual <= bound
+
+    def test_fig7(self):
+        r = experiments.fig7_sla(ExperimentScale.tiny(), ks=(1, 2), lcp_lookback=6)
+        assert len(r.rows) == 2
+
+    def test_fig8(self):
+        r = experiments.fig8_prediction_window(
+            ExperimentScale.tiny(), windows=(2, 3)
+        )
+        for row in r.rows:
+            # Theorem 4: rfhc/rrhc no worse than the online algorithm.
+            assert row[3] <= row[5] * (1 + 1e-6)
+            assert row[4] <= row[5] * (1 + 1e-6)
+
+    def test_fig10(self):
+        r = experiments.fig10_error_sweep(
+            ExperimentScale.tiny(), errors=(0.0, 0.1), window=2
+        )
+        assert len(r.rows) == 2
+
+    def test_theorem23(self):
+        r = experiments.theorem23_adversarial(recon_prices=(1.0, 100.0))
+        greedy = r.column("greedy/opt")
+        online = r.column("online/opt")
+        assert greedy[-1] > greedy[0]
+        assert online[-1] < greedy[-1]
+
+    def test_make_trace_validation(self):
+        with pytest.raises(ValueError):
+            experiments.make_trace("nope", ExperimentScale.tiny())
+
+
+class TestRegistryMore:
+    def test_fig9_smoke(self):
+        r = experiments.fig9_noisy_prediction(
+            ExperimentScale.tiny(), windows=(2,), error=0.1
+        )
+        assert len(r.rows) == 1
+        assert "fig9" in r.name
+
+    def test_fig5_worldcup_smoke(self):
+        r = experiments.fig5_cost_no_prediction(
+            ExperimentScale.tiny(), "worldcup", recon_weights=(100.0,)
+        )
+        assert r.rows[0][0] == "worldcup"
+
+    def test_ntier_experiment(self):
+        r = experiments.ntier_generalization(horizon=8, n_edge=3, n_mid=2, n_top=2)
+        by_name = {row[0]: row for row in r.rows}
+        assert by_name["offline"][2] == pytest.approx(1.0)
+        assert by_name["online"][2] >= 1.0 - 1e-9
+        assert by_name["online"][2] <= by_name["greedy"][2] + 1e-9

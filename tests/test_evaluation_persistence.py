@@ -1,0 +1,44 @@
+"""Tests for experiment-result JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.persistence import load_result, result_to_dict, save_result
+from repro.evaluation.reporting import ExperimentResult
+
+
+def sample_result():
+    return ExperimentResult(
+        name="fig-test",
+        headers=["k", "ratio"],
+        rows=[(1, np.float64(1.25)), (2, 1.1)],
+        series={"cumulative": np.array([1.0, 2.0, 3.5])},
+        notes=["a note"],
+    )
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(sample_result(), path)
+        back = load_result(path)
+        assert back.name == "fig-test"
+        assert back.headers == ["k", "ratio"]
+        assert back.rows[0] == (1, 1.25)
+        np.testing.assert_array_equal(back.series["cumulative"], [1.0, 2.0, 3.5])
+        assert back.notes == ["a note"]
+
+    def test_numpy_scalars_serialized(self):
+        d = result_to_dict(sample_result())
+        assert isinstance(d["rows"][0][1], float)
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99}')
+        with pytest.raises(ValueError, match="version"):
+            load_result(path)
+
+    def test_render_after_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(sample_result(), path)
+        assert "fig-test" in load_result(path).render()

@@ -1,0 +1,106 @@
+"""Tests for the full three-cost model (F_1 + F_12 + F_2)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    full_model_greedy,
+    full_model_offline,
+    full_model_online,
+    to_layered,
+)
+from repro.model import Cloud, CloudNetwork, Instance, SLAEdge
+from repro.offline import solve_offline
+
+from conftest import make_network
+
+
+def instance_with_tier1(tier1_price=0.0, tier1_capacity=np.inf, tier1_recon=0.0,
+                        horizon=10, seed=0):
+    n2, n1, k = 3, 4, 2
+    tier2 = [Cloud(f"i{i}", 10.0, 20.0) for i in range(n2)]
+    tier1 = [Cloud(f"j{j}", tier1_capacity, tier1_recon) for j in range(n1)]
+    edges = [SLAEdge((j + m) % n2, j, 7.0, 12.0) for j in range(n1) for m in range(k)]
+    net = CloudNetwork(tier2, tier1, edges)
+    rng = np.random.default_rng(seed)
+    T = horizon
+    lam = np.clip(
+        1.0 + 0.9 * np.sin(np.arange(T) * 2 * np.pi / 8)[:, None]
+        * np.ones((1, n1)) + 0.1 * rng.random((T, n1)),
+        0.05,
+        None,
+    )
+    a = 1.0 + 0.4 * rng.random((T, n2))
+    c = 0.3 * np.ones((T, net.n_edges))
+    e = np.broadcast_to(np.asarray(tier1_price, float), (T, n1)).copy()
+    return Instance(net, lam, a, c, tier1_price=e)
+
+
+class TestReduction:
+    def test_requires_tier1_price(self, small_network):
+        inst = Instance(
+            small_network,
+            np.ones((2, small_network.n_tier1)),
+            np.ones((2, small_network.n_tier2)),
+            np.ones((2, small_network.n_edges)),
+        )
+        with pytest.raises(ValueError, match="tier1_price"):
+            to_layered(inst)
+
+    def test_structure(self):
+        inst = instance_with_tier1()
+        layered = to_layered(inst)
+        net = inst.network
+        assert layered.network.n_tiers == 3
+        assert layered.network.n_tier1 == net.n_tier1  # origins
+        assert layered.network.n_links == net.n_tier1 + net.n_edges
+        # One path per original SLA edge (origin feeder is unique).
+        assert layered.network.n_paths == net.n_edges
+
+    def test_reduces_to_p1_when_tier1_free(self):
+        """With e = f = 0 and ample C_j, the full model's optimum
+        equals the reduced problem P1's optimum."""
+        inst = instance_with_tier1(tier1_price=0.0, tier1_recon=0.0)
+        full = full_model_offline(inst)
+        reduced = solve_offline(inst)
+        assert full.total == pytest.approx(reduced.objective, rel=1e-6)
+
+    def test_tier1_costs_increase_total(self):
+        free = full_model_offline(instance_with_tier1(tier1_price=0.0))
+        paid = full_model_offline(instance_with_tier1(tier1_price=0.5))
+        assert paid.total > free.total
+
+    def test_tier1_capacity_respected(self):
+        inst = instance_with_tier1(tier1_price=0.1, tier1_capacity=3.0)
+        layered = to_layered(inst)
+        res = full_model_offline(inst)
+        J = inst.network.n_tier1
+        # First J flattened upper nodes are the tier-1 clouds.
+        assert np.all(res.trajectory.X[:, :J] <= 3.0 + 1e-6)
+
+
+class TestAlgorithms:
+    def test_ordering_offline_online_greedy(self):
+        inst = instance_with_tier1(tier1_price=0.2, tier1_recon=15.0)
+        off = full_model_offline(inst)
+        on = full_model_online(inst)
+        gr = full_model_greedy(inst)
+        layered = to_layered(inst)
+        assert layered.check_feasible(on.trajectory)
+        assert off.total <= on.total + 1e-6
+        assert off.total <= gr.total + 1e-6
+
+    def test_online_smooths_tier1_reconfiguration(self):
+        """A V-shaped workload with expensive f_j: online beats greedy."""
+        inst = instance_with_tier1(tier1_price=0.02, tier1_recon=50.0, horizon=10)
+        vee = np.concatenate([np.linspace(1.8, 0.1, 5), np.linspace(0.1, 1.8, 5)])
+        inst = Instance(
+            inst.network,
+            vee[:, None] * np.ones((1, 4)),
+            0.02 * np.ones((10, 3)),
+            0.02 * np.ones((10, inst.network.n_edges)),
+            tier1_price=0.02 * np.ones((10, 4)),
+        )
+        on = full_model_online(inst)
+        gr = full_model_greedy(inst)
+        assert on.total < gr.total

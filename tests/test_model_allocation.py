@@ -1,0 +1,76 @@
+"""Tests for Allocation and Trajectory containers."""
+
+import numpy as np
+import pytest
+
+from repro.model import Allocation, Trajectory
+
+from conftest import make_network
+
+
+class TestAllocation:
+    def test_zeros(self):
+        a = Allocation.zeros(5)
+        assert a.x.shape == (5,)
+        assert np.all(a.x == 0) and np.all(a.y == 0) and np.all(a.s == 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            Allocation(np.zeros(3), np.zeros(4), np.zeros(3))
+
+    def test_tier2_totals(self):
+        net = make_network(n_tier2=2, n_tier1=2, k=2)  # 4 edges
+        a = Allocation(
+            np.array([1.0, 2.0, 3.0, 4.0]), np.zeros(4), np.zeros(4)
+        )
+        totals = a.tier2_totals(net)
+        expected = np.zeros(2)
+        np.add.at(expected, net.edge_i, a.x)
+        np.testing.assert_allclose(totals, expected)
+
+    def test_copy_is_deep(self):
+        a = Allocation.zeros(3)
+        b = a.copy()
+        b.x[0] = 1.0
+        assert a.x[0] == 0.0
+
+
+class TestTrajectory:
+    def test_from_steps_roundtrip(self):
+        steps = [
+            Allocation(np.full(3, t), np.full(3, t + 0.5), np.full(3, t * 0.5))
+            for t in range(4)
+        ]
+        traj = Trajectory.from_steps(steps)
+        assert traj.horizon == 4
+        got = traj.step(2)
+        np.testing.assert_allclose(got.x, steps[2].x)
+        np.testing.assert_allclose(got.y, steps[2].y)
+
+    def test_from_steps_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory.from_steps([])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Trajectory(-np.ones((2, 3)), np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_concat(self):
+        a = Trajectory.zeros(2, 3)
+        b = Trajectory.zeros(5, 3)
+        assert a.concat(b).horizon == 7
+
+    def test_concat_edge_mismatch(self):
+        with pytest.raises(ValueError):
+            Trajectory.zeros(2, 3).concat(Trajectory.zeros(2, 4))
+
+    def test_step_returns_copies(self):
+        traj = Trajectory.zeros(2, 3)
+        step = traj.step(0)
+        step.x[0] = 9.0
+        assert traj.x[0, 0] == 0.0
+
+    def test_tier2_totals_shape(self):
+        net = make_network()
+        traj = Trajectory.zeros(6, net.n_edges)
+        assert traj.tier2_totals(net).shape == (6, net.n_tier2)

@@ -1,0 +1,123 @@
+"""Tests for cost evaluation (F_2 + F_12, optional F_1)."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    Allocation,
+    Instance,
+    Trajectory,
+    evaluate_cost,
+    pos_part,
+    reconfiguration_increments,
+)
+
+from conftest import make_instance, make_network
+
+
+class TestPosPart:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            pos_part(np.array([-1.0, 0.0, 2.5])), [0.0, 0.0, 2.5]
+        )
+
+
+class TestReconIncrements:
+    def test_zero_initial(self):
+        series = np.array([[1.0], [3.0], [2.0], [5.0]])
+        inc = reconfiguration_increments(series)
+        np.testing.assert_allclose(inc.ravel(), [1.0, 2.0, 0.0, 3.0])
+
+    def test_nonzero_initial(self):
+        series = np.array([[1.0], [0.5]])
+        inc = reconfiguration_increments(series, initial=np.array([2.0]))
+        np.testing.assert_allclose(inc.ravel(), [0.0, 0.0])
+
+    def test_monotone_series_total_equals_range(self):
+        series = np.cumsum(np.random.default_rng(0).random((10, 3)), axis=0)
+        inc = reconfiguration_increments(series)
+        np.testing.assert_allclose(inc.sum(axis=0), series[-1])
+
+
+class TestEvaluateCost:
+    def _tiny(self):
+        net = make_network(n_tier2=2, n_tier1=2, k=1)
+        T = 3
+        lam = np.ones((T, 2))
+        a = np.full((T, 2), 2.0)
+        c = np.full((T, net.n_edges), 0.5)
+        return Instance(net, lam, a, c)
+
+    def test_hand_computed_total(self):
+        inst = self._tiny()
+        net = inst.network
+        # Constant allocation x = y = s = 1 on each edge.
+        ones = np.ones((3, net.n_edges))
+        traj = Trajectory(ones, ones, ones)
+        cost = evaluate_cost(inst, traj)
+        # Tier-2 alloc: per slot sum_i a_i * X_i = 2 * (1 + 1) = 4; 3 slots = 12.
+        assert cost.tier2_alloc.sum() == pytest.approx(12.0)
+        # Link alloc: 0.5 * 2 edges * 3 slots = 3.
+        assert cost.link_alloc.sum() == pytest.approx(3.0)
+        # Recon: only slot 0 (from zero): tier-2 20 * 2 clouds, links 12 * 2.
+        assert cost.tier2_recon.sum() == pytest.approx(40.0)
+        assert cost.link_recon.sum() == pytest.approx(24.0)
+        assert cost.total == pytest.approx(12 + 3 + 40 + 24)
+
+    def test_initial_state_suppresses_first_recon(self):
+        inst = self._tiny()
+        net = inst.network
+        ones = np.ones((3, net.n_edges))
+        traj = Trajectory(ones, ones, ones)
+        init = Allocation(
+            np.ones(net.n_edges), np.ones(net.n_edges), np.ones(net.n_edges)
+        )
+        cost = evaluate_cost(inst, traj, initial=init)
+        assert cost.reconfiguration_total == pytest.approx(0.0)
+
+    def test_cumulative_is_monotone(self, small_instance):
+        rng = np.random.default_rng(5)
+        E = small_instance.network.n_edges
+        s = rng.random((small_instance.horizon, E))
+        traj = Trajectory(s + 0.5, s + 0.3, s)
+        cum = evaluate_cost(small_instance, traj).cumulative
+        assert np.all(np.diff(cum) >= -1e-12)
+
+    def test_horizon_mismatch_raises(self, small_instance):
+        E = small_instance.network.n_edges
+        traj = Trajectory.zeros(small_instance.horizon - 1, E)
+        with pytest.raises(ValueError, match="horizon"):
+            evaluate_cost(small_instance, traj)
+
+    def test_tier1_extension_requires_prices(self, small_instance):
+        E = small_instance.network.n_edges
+        traj = Trajectory.zeros(small_instance.horizon, E)
+        with pytest.raises(ValueError, match="tier1_price"):
+            evaluate_cost(small_instance, traj, include_tier1=True)
+
+    def test_tier1_extension_charges_s_totals(self):
+        net = make_network(n_tier2=2, n_tier1=2, k=1)
+        T = 2
+        inst = Instance(
+            net,
+            np.ones((T, 2)),
+            np.zeros((T, 2)),
+            np.zeros((T, net.n_edges)),
+            tier1_price=np.full((T, 2), 3.0),
+        )
+        ones = np.ones((T, net.n_edges))
+        cost = evaluate_cost(inst, Trajectory(ones, ones, ones), include_tier1=True)
+        # s totals per tier-1 cloud = 1 each, price 3, 2 clouds, 2 slots.
+        assert cost.tier1_alloc.sum() == pytest.approx(12.0)
+
+
+class TestCostBreakdownProperties:
+    def test_per_slot_sums_to_total(self, small_instance):
+        rng = np.random.default_rng(9)
+        E = small_instance.network.n_edges
+        s = rng.random((small_instance.horizon, E))
+        cost = evaluate_cost(small_instance, Trajectory(s + 1, s + 1, s))
+        assert cost.per_slot.sum() == pytest.approx(cost.total)
+        assert cost.total == pytest.approx(
+            cost.allocation_total + cost.reconfiguration_total
+        )

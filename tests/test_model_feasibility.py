@@ -1,0 +1,122 @@
+"""Tests for feasibility checking (instances and trajectories)."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    Cloud,
+    CloudNetwork,
+    Instance,
+    SLAEdge,
+    Trajectory,
+    check_instance_feasible,
+    check_trajectory,
+    necessary_conditions,
+)
+
+from conftest import make_instance, make_network
+
+
+class TestNecessaryConditions:
+    def test_feasible_instance_passes(self, small_instance):
+        assert necessary_conditions(small_instance).ok
+
+    def test_link_capacity_violation_detected(self, small_network):
+        T = 2
+        # Each tier-1 cloud has 2 edges of capacity 7 => 14 max.
+        lam = np.full((T, small_network.n_tier1), 15.0)
+        inst = Instance(
+            small_network,
+            lam,
+            np.ones((T, small_network.n_tier2)),
+            np.ones((T, small_network.n_edges)),
+        )
+        rep = necessary_conditions(inst)
+        assert not rep.ok
+        assert "link_capacity_sum" in rep.violations
+
+    def test_aggregate_tier2_violation_detected(self, small_network):
+        T = 1
+        # Total tier-2 capacity = 4 * 10 = 40; total workload 6 * 7 = 42.
+        lam = np.full((T, small_network.n_tier1), 7.0)
+        inst = Instance(
+            small_network,
+            lam,
+            np.ones((T, small_network.n_tier2)),
+            np.ones((T, small_network.n_edges)),
+        )
+        rep = necessary_conditions(inst)
+        assert not rep.ok
+        assert "tier2_capacity_sum" in rep.violations
+
+
+class TestExactFeasibility:
+    def test_feasible_instance(self, small_instance):
+        assert check_instance_feasible(small_instance).ok
+
+    def test_hall_violation_caught(self):
+        """Aggregate capacity suffices but SLA structure makes it infeasible."""
+        tier2 = [Cloud("big", 100.0), Cloud("small", 1.0)]
+        tier1 = [Cloud("j0", np.inf), Cloud("j1", np.inf)]
+        # j0 and j1 can only use the small cloud.
+        edges = [SLAEdge(1, 0, 50.0), SLAEdge(1, 1, 50.0)]
+        net = CloudNetwork(tier2, tier1, edges)
+        inst = Instance(
+            net, np.full((1, 2), 2.0), np.ones((1, 2)), np.ones((1, 2))
+        )
+        assert necessary_conditions(inst).ok  # aggregate check passes
+        assert not check_instance_feasible(inst).ok  # exact check fails
+
+    def test_zero_workload_trivially_feasible(self, small_network):
+        inst = Instance(
+            small_network,
+            np.zeros((2, small_network.n_tier1)),
+            np.ones((2, small_network.n_tier2)),
+            np.ones((2, small_network.n_edges)),
+        )
+        assert check_instance_feasible(inst).ok
+
+
+class TestTrajectoryCheck:
+    def test_zero_trajectory_fails_coverage(self, small_instance):
+        E = small_instance.network.n_edges
+        rep = check_trajectory(
+            small_instance, Trajectory.zeros(small_instance.horizon, E)
+        )
+        assert not rep.ok
+        assert "coverage" in rep.violations
+
+    def test_valid_trajectory_passes(self, small_instance):
+        net = small_instance.network
+        T = small_instance.horizon
+        # Spread each cloud's demand over its edges with headroom.
+        counts = net.aggregate_tier1(np.ones(net.n_edges))
+        s = small_instance.workload[:, net.edge_j] / counts[net.edge_j]
+        traj = Trajectory(s, s, s)
+        rep = check_trajectory(small_instance, traj)
+        assert rep.ok, rep.describe()
+
+    def test_capacity_violation_detected(self, small_instance):
+        net = small_instance.network
+        T = small_instance.horizon
+        big = np.full((T, net.n_edges), 100.0)
+        rep = check_trajectory(small_instance, Trajectory(big, big, big))
+        assert not rep.ok
+        assert "tier2_capacity" in rep.violations
+        assert "link_capacity" in rep.violations
+
+    def test_x_below_s_detected(self, small_instance):
+        net = small_instance.network
+        T = small_instance.horizon
+        s = np.full((T, net.n_edges), 2.0)
+        x = np.full((T, net.n_edges), 1.0)
+        y = np.full((T, net.n_edges), 2.0)
+        rep = check_trajectory(small_instance, Trajectory(x, y, s))
+        assert "x_ge_s" in rep.violations
+
+    def test_describe_mentions_violation(self, small_instance):
+        E = small_instance.network.n_edges
+        rep = check_trajectory(
+            small_instance, Trajectory.zeros(small_instance.horizon, E)
+        )
+        assert "coverage" in rep.describe()

@@ -1,0 +1,85 @@
+"""Tests for Instance validation and slicing."""
+
+import numpy as np
+import pytest
+
+from repro.model import Instance
+
+from conftest import make_instance, make_network
+
+
+class TestValidation:
+    def test_shapes_checked(self, small_network):
+        T = 4
+        lam = np.ones((T, small_network.n_tier1))
+        a = np.ones((T, small_network.n_tier2))
+        c = np.ones((T, small_network.n_edges))
+        Instance(small_network, lam, a, c)  # ok
+        with pytest.raises(ValueError, match="workload"):
+            Instance(small_network, lam[:, :-1], a, c)
+        with pytest.raises(ValueError, match="tier2_price"):
+            Instance(small_network, lam, a[:, :-1], c)
+        with pytest.raises(ValueError, match="link_price"):
+            Instance(small_network, lam, a, c[:, :-1])
+
+    def test_rejects_negative_workload(self, small_network):
+        T = 3
+        lam = np.ones((T, small_network.n_tier1))
+        lam[1, 0] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            Instance(
+                small_network,
+                lam,
+                np.ones((T, small_network.n_tier2)),
+                np.ones((T, small_network.n_edges)),
+            )
+
+    def test_rejects_nan_price(self, small_network):
+        T = 3
+        a = np.ones((T, small_network.n_tier2))
+        a[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            Instance(
+                small_network,
+                np.ones((T, small_network.n_tier1)),
+                a,
+                np.ones((T, small_network.n_edges)),
+            )
+
+    def test_static_link_price_broadcasts(self, small_network):
+        T = 5
+        inst = Instance(
+            small_network,
+            np.ones((T, small_network.n_tier1)),
+            np.ones((T, small_network.n_tier2)),
+            np.full(small_network.n_edges, 0.25),
+        )
+        assert inst.link_price.shape == (T, small_network.n_edges)
+        assert np.all(inst.link_price == 0.25)
+
+
+class TestSlicing:
+    def test_slice_contents(self, small_instance):
+        sub = small_instance.slice(3, 7)
+        assert sub.horizon == 4
+        np.testing.assert_array_equal(sub.workload, small_instance.workload[3:7])
+        np.testing.assert_array_equal(sub.tier2_price, small_instance.tier2_price[3:7])
+
+    def test_slice_bounds_checked(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.slice(5, 5)
+        with pytest.raises(ValueError):
+            small_instance.slice(-1, 3)
+        with pytest.raises(ValueError):
+            small_instance.slice(0, small_instance.horizon + 1)
+
+    def test_with_data_replaces_workload_only(self, small_instance):
+        new_lam = small_instance.workload * 0.5
+        alt = small_instance.with_data(workload=new_lam)
+        np.testing.assert_array_equal(alt.workload, new_lam)
+        np.testing.assert_array_equal(alt.tier2_price, small_instance.tier2_price)
+
+    def test_total_workload(self, small_instance):
+        np.testing.assert_allclose(
+            small_instance.total_workload(), small_instance.workload.sum(axis=1)
+        )

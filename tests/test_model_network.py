@@ -1,0 +1,132 @@
+"""Tests for the two-tier network model."""
+
+import numpy as np
+import pytest
+
+from repro.model import Cloud, CloudNetwork, SLAEdge
+from repro.model.network import complete_bipartite_network
+
+from conftest import make_network
+
+
+class TestCloudValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Cloud("x", capacity=0.0)
+
+    def test_rejects_negative_recon_price(self):
+        with pytest.raises(ValueError, match="recon_price"):
+            Cloud("x", capacity=1.0, recon_price=-1.0)
+
+    def test_infinite_capacity_allowed(self):
+        assert Cloud("x", capacity=np.inf).capacity == np.inf
+
+
+class TestEdgeValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SLAEdge(0, 0, capacity=0.0)
+
+    def test_rejects_negative_recon(self):
+        with pytest.raises(ValueError, match="recon_price"):
+            SLAEdge(0, 0, capacity=1.0, recon_price=-0.1)
+
+
+class TestNetworkConstruction:
+    def test_sizes(self):
+        net = make_network(n_tier2=4, n_tier1=6, k=2)
+        assert net.n_tier2 == 4
+        assert net.n_tier1 == 6
+        assert net.n_edges == 12
+
+    def test_rejects_duplicate_edges(self):
+        tier2 = [Cloud("a", 1.0)]
+        tier1 = [Cloud("b", 1.0)]
+        with pytest.raises(ValueError, match="duplicate"):
+            CloudNetwork(tier2, tier1, [SLAEdge(0, 0, 1.0), SLAEdge(0, 0, 2.0)])
+
+    def test_rejects_uncovered_tier1(self):
+        tier2 = [Cloud("a", 1.0)]
+        tier1 = [Cloud("b", 1.0), Cloud("c", 1.0)]
+        with pytest.raises(ValueError, match="without any SLA edge"):
+            CloudNetwork(tier2, tier1, [SLAEdge(0, 0, 1.0)])
+
+    def test_rejects_out_of_range_edge(self):
+        tier2 = [Cloud("a", 1.0)]
+        tier1 = [Cloud("b", 1.0)]
+        with pytest.raises(ValueError, match="unknown tier-2"):
+            CloudNetwork(tier2, tier1, [SLAEdge(3, 0, 1.0)])
+
+    def test_rejects_empty_tiers(self):
+        with pytest.raises(ValueError):
+            CloudNetwork([], [Cloud("b", 1.0)], [])
+
+
+class TestSLASubsets:
+    def test_edges_of_tier1_cover_all_edges(self):
+        net = make_network()
+        all_edges = np.concatenate(
+            [net.edges_of_tier1(j) for j in range(net.n_tier1)]
+        )
+        assert sorted(all_edges) == list(range(net.n_edges))
+
+    def test_edges_of_tier2_partition(self):
+        net = make_network()
+        all_edges = np.concatenate(
+            [net.edges_of_tier2(i) for i in range(net.n_tier2)]
+        )
+        assert sorted(all_edges) == list(range(net.n_edges))
+
+    def test_sla_subsets_consistent(self):
+        net = make_network()
+        for j in range(net.n_tier1):
+            for i in net.sla_tier2_of(j):
+                assert j in net.sla_tier1_of(int(i))
+
+
+class TestAggregation:
+    def test_aggregate_tier2_matches_manual_sum(self):
+        net = make_network()
+        rng = np.random.default_rng(0)
+        vals = rng.random(net.n_edges)
+        agg = net.aggregate_tier2(vals)
+        for i in range(net.n_tier2):
+            assert agg[i] == pytest.approx(vals[net.edges_of_tier2(i)].sum())
+
+    def test_aggregate_handles_2d(self):
+        net = make_network()
+        rng = np.random.default_rng(1)
+        vals = rng.random((5, net.n_edges))
+        agg = net.aggregate_tier2(vals)
+        assert agg.shape == (5, net.n_tier2)
+        np.testing.assert_allclose(agg[2], net.aggregate_tier2(vals[2]))
+
+    def test_expand_then_aggregate_scales_by_edge_count(self):
+        net = make_network()
+        ones = np.ones(net.n_tier2)
+        counts = net.aggregate_tier2(net.expand_tier2(ones))
+        for i in range(net.n_tier2):
+            assert counts[i] == len(net.edges_of_tier2(i))
+
+    def test_aggregate_tier1_roundtrip(self):
+        net = make_network()
+        rng = np.random.default_rng(2)
+        cloud_vals = rng.random(net.n_tier1)
+        edge_vals = net.expand_tier1(cloud_vals)
+        # Each tier-1 cloud has k=2 edges.
+        np.testing.assert_allclose(net.aggregate_tier1(edge_vals), 2 * cloud_vals)
+
+
+class TestCompleteBipartite:
+    def test_edge_count(self):
+        tier2 = [Cloud(f"i{i}", 1.0) for i in range(3)]
+        tier1 = [Cloud(f"j{j}", 1.0) for j in range(5)]
+        net = complete_bipartite_network(tier2, tier1, edge_capacity=2.0)
+        assert net.n_edges == 15
+
+    def test_every_pair_present(self):
+        tier2 = [Cloud(f"i{i}", 1.0) for i in range(2)]
+        tier1 = [Cloud(f"j{j}", 1.0) for j in range(2)]
+        net = complete_bipartite_network(tier2, tier1, edge_capacity=2.0)
+        pairs = {(int(i), int(j)) for i, j in zip(net.edge_i, net.edge_j)}
+        assert pairs == {(0, 0), (0, 1), (1, 0), (1, 1)}

@@ -1,0 +1,76 @@
+"""Tests for instance normalization (Theorem-1 Remarks)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineConfig, RegularizedOnline, theorem1_ratio
+from repro.model import (
+    check_trajectory,
+    denormalize_trajectory,
+    evaluate_cost,
+    normalize_instance,
+)
+from repro.offline import solve_offline
+
+from conftest import make_instance, make_network
+
+
+class TestNormalization:
+    def test_capacities_in_unit_interval(self, small_instance):
+        norm = normalize_instance(small_instance)
+        net = norm.instance.network
+        assert net.tier2_capacity.max() <= 1.0 + 1e-12
+        assert net.edge_capacity.max() <= 1.0 + 1e-12
+        assert norm.scale == pytest.approx(10.0)  # fixture tier-2 capacity
+
+    def test_workload_rescaled(self, small_instance):
+        norm = normalize_instance(small_instance)
+        np.testing.assert_allclose(
+            norm.instance.workload * norm.scale, small_instance.workload
+        )
+
+    def test_offline_cost_scales_linearly(self, small_instance):
+        norm = normalize_instance(small_instance)
+        c_orig = solve_offline(small_instance).objective
+        c_norm = solve_offline(norm.instance).objective
+        assert c_orig == pytest.approx(norm.scale * c_norm, rel=1e-6)
+
+    def test_denormalized_solution_feasible_and_equal_cost(self, small_instance):
+        norm = normalize_instance(small_instance)
+        traj_n = RegularizedOnline(OnlineConfig(epsilon=1e-3)).run(norm.instance)
+        traj = denormalize_trajectory(traj_n, norm.scale)
+        assert check_trajectory(small_instance, traj).ok
+        c_orig_units = evaluate_cost(small_instance, traj).total
+        c_norm_units = evaluate_cost(norm.instance, traj_n).total
+        assert c_orig_units == pytest.approx(norm.scale * c_norm_units, rel=1e-9)
+
+    def test_ratio_invariance(self, small_instance):
+        """The empirical competitive ratio is invariant to normalization."""
+        norm = normalize_instance(small_instance)
+        eps = 1e-2
+        def ratio(inst):
+            on = evaluate_cost(
+                inst, RegularizedOnline(OnlineConfig(epsilon=eps)).run(inst)
+            ).total
+            return on / solve_offline(inst).objective
+        # Note: epsilon is *not* rescaled, so the algorithms differ
+        # slightly; rescale epsilon to compare like for like.
+        on_n = evaluate_cost(
+            norm.instance,
+            RegularizedOnline(OnlineConfig(epsilon=eps / norm.scale)).run(norm.instance),
+        ).total
+        r_norm = on_n / solve_offline(norm.instance).objective
+        r_orig = ratio(small_instance)
+        assert r_norm == pytest.approx(r_orig, rel=1e-4)
+
+    def test_theorem1_bound_shrinks_after_normalization(self, small_instance):
+        norm = normalize_instance(small_instance)
+        assert theorem1_ratio(norm.instance.network, 1e-2) < theorem1_ratio(
+            small_instance.network, 1e-2
+        )
+
+    def test_denormalize_validation(self):
+        from repro.model import Trajectory
+
+        with pytest.raises(ValueError):
+            denormalize_trajectory(Trajectory.zeros(1, 1), 0.0)

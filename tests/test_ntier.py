@@ -1,0 +1,242 @@
+"""Tests for the N-tier generalization."""
+
+import numpy as np
+import pytest
+
+from repro.model import Cloud
+from repro.ntier import (
+    LayeredNetwork,
+    LayerLink,
+    NTierConfig,
+    NTierGreedy,
+    NTierInstance,
+    NTierRegularizedOnline,
+    solve_ntier_offline,
+)
+
+
+def three_tier(seed=0, T=12):
+    edge = [Cloud(f"e{j}", np.inf) for j in range(4)]
+    mid = [Cloud(f"m{u}", 8.0, 40.0) for u in range(3)]
+    top = [Cloud(f"t{u}", 12.0, 60.0) for u in range(2)]
+    links = []
+    for j in range(4):
+        for u in (j % 3, (j + 1) % 3):
+            links.append(LayerLink(1, j, u, 6.0, 25.0))
+    for u in range(3):
+        for v in (0, 1):
+            links.append(LayerLink(2, u, v, 8.0, 25.0))
+    net = LayeredNetwork([edge, mid, top], links)
+    rng = np.random.default_rng(seed)
+    base = 1.0 + 0.8 * np.sin(np.arange(T) * 2 * np.pi / 8)
+    lam = np.clip(base[:, None] * (1 + 0.1 * rng.random((T, 4))), 0.05, None)
+    node_price = 1.0 + 0.3 * rng.random((T, net.n_upper_nodes))
+    link_price = 0.4 * np.ones((T, net.n_links))
+    return NTierInstance(net, lam, node_price, link_price)
+
+
+class TestLayeredNetwork:
+    def test_path_enumeration_counts(self):
+        inst = three_tier()
+        net = inst.network
+        # Each edge cloud: 2 mid choices x 2 top choices = 4 paths.
+        assert net.n_paths == 4 * 4
+
+    def test_two_tier_reduces_to_edges(self):
+        edge = [Cloud("e0", np.inf), Cloud("e1", np.inf)]
+        top = [Cloud("t0", 5.0), Cloud("t1", 5.0)]
+        links = [LayerLink(1, 0, 0, 3.0), LayerLink(1, 1, 1, 3.0), LayerLink(1, 1, 0, 3.0)]
+        net = LayeredNetwork([edge, top], links)
+        assert net.n_paths == 3  # one path per link
+
+    def test_uncovered_edge_cloud_rejected(self):
+        edge = [Cloud("e0", np.inf), Cloud("e1", np.inf)]
+        top = [Cloud("t0", 5.0)]
+        with pytest.raises(ValueError, match="no path"):
+            LayeredNetwork([edge, top], [LayerLink(1, 0, 0, 3.0)])
+
+    def test_needs_two_tiers(self):
+        with pytest.raises(ValueError, match="two tiers"):
+            LayeredNetwork([[Cloud("a", 1.0)]], [])
+
+    def test_max_paths_guard(self):
+        edge = [Cloud("e0", np.inf)]
+        mid = [Cloud(f"m{u}", 5.0) for u in range(4)]
+        top = [Cloud(f"t{u}", 5.0) for u in range(4)]
+        links = [LayerLink(1, 0, u, 3.0) for u in range(4)]
+        links += [LayerLink(2, u, v, 3.0) for u in range(4) for v in range(4)]
+        with pytest.raises(ValueError, match="max_paths"):
+            LayeredNetwork([edge, mid, top], links, max_paths=8)
+
+    def test_flat_node_indexing_roundtrip(self):
+        net = three_tier().network
+        assert net.node_flat_index(2, 1) == 1
+        assert net.node_flat_index(3, 0) == 3
+        assert net.tier_of_flat_node(0) == 2
+        assert net.tier_of_flat_node(4) == 3
+
+    def test_incidence_shapes(self):
+        net = three_tier().network
+        assert net.path_node_incidence.shape == (net.n_paths, net.n_upper_nodes)
+        assert net.path_link_incidence.shape == (net.n_paths, net.n_links)
+        # Every path touches exactly one node per upper tier and one
+        # link per stage.
+        assert np.all(net.path_node_incidence.sum(axis=1) == 2)
+        assert np.all(net.path_link_incidence.sum(axis=1) == 2)
+
+
+class TestOffline:
+    def test_feasible_and_scored(self):
+        inst = three_tier()
+        res = solve_ntier_offline(inst)
+        assert inst.check_feasible(res.trajectory)
+        assert res.objective == pytest.approx(inst.cost(res.trajectory), rel=1e-6)
+
+    def test_lower_bounds_greedy_and_online(self):
+        inst = three_tier()
+        off = solve_ntier_offline(inst).objective
+        assert off <= inst.cost(NTierGreedy().run(inst)) + 1e-6
+        online = NTierRegularizedOnline(NTierConfig(epsilon=1e-2)).run(inst)
+        assert off <= inst.cost(online) + 1e-6
+
+
+class TestOnline:
+    def test_feasible(self):
+        inst = three_tier()
+        traj = NTierRegularizedOnline(NTierConfig(epsilon=1e-2)).run(inst)
+        assert inst.check_feasible(traj)
+
+    def test_smoother_than_greedy_on_vee(self):
+        """With expensive reconfiguration the online algorithm beats greedy."""
+        inst = three_tier(T=10)
+        vee = np.concatenate([np.linspace(1.8, 0.1, 5), np.linspace(0.1, 1.8, 5)])
+        inst = NTierInstance(
+            inst.network,
+            vee[:, None] * np.ones((1, 4)),
+            0.02 * np.ones((10, inst.network.n_upper_nodes)),
+            0.02 * np.ones((10, inst.network.n_links)),
+        )
+        online = NTierRegularizedOnline(NTierConfig(epsilon=1e-2)).run(inst)
+        greedy = NTierGreedy().run(inst)
+        assert inst.cost(online) < inst.cost(greedy)
+
+    def test_hedging_spreads_overflow(self):
+        """Nodes too small for the total demand force background capacity."""
+        edge = [Cloud("e0", np.inf)]
+        top = [Cloud("t0", 1.5, 10.0), Cloud("t1", 1.5, 10.0)]
+        links = [LayerLink(1, 0, 0, 2.0, 5.0), LayerLink(1, 0, 1, 2.0, 5.0)]
+        net = LayeredNetwork([edge, top], links)
+        lam = np.full((1, 1), 2.0)  # Lambda=2 > C=1.5 per node
+        inst = NTierInstance(net, lam, np.array([[1.0, 50.0]]), 0.01 * np.ones((1, 2)))
+        traj = NTierRegularizedOnline(NTierConfig(epsilon=1e-2, hedging=True)).run(inst)
+        # (3d) analogue: the expensive node holds >= Lambda - C_0 = 0.5.
+        assert traj.X[0, 1] >= 0.5 - 1e-6
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NTierConfig(epsilon=0.0)
+
+
+class TestInstanceValidation:
+    def test_shape_checks(self):
+        inst = three_tier()
+        with pytest.raises(ValueError):
+            NTierInstance(
+                inst.network,
+                inst.workload[:, :-1],
+                inst.node_price,
+                inst.link_price,
+            )
+
+    def test_slice(self):
+        inst = three_tier(T=10)
+        sub = inst.slice(2, 6)
+        assert sub.horizon == 4
+        np.testing.assert_array_equal(sub.workload, inst.workload[2:6])
+
+    def test_cost_hand_computed(self):
+        inst = three_tier(T=2)
+        net = inst.network
+        from repro.ntier.problem import NTierTrajectory
+
+        X = np.ones((2, net.n_upper_nodes))
+        Y = np.ones((2, net.n_links))
+        s = np.zeros((2, net.n_paths))
+        traj = NTierTrajectory(X, Y, s)
+        expected = (
+            inst.node_price.sum() + inst.link_price.sum()
+            + net.node_recon_price.sum() + net.link_recon_price.sum()
+        )
+        assert inst.cost(traj) == pytest.approx(expected)
+
+
+class TestNTierPrediction:
+    def _vee_instance(self):
+        inst = three_tier(T=12)
+        vee = np.concatenate([np.linspace(1.8, 0.1, 6), np.linspace(0.1, 1.8, 6)])
+        return NTierInstance(
+            inst.network,
+            vee[:, None] * np.ones((1, 4)),
+            0.02 * np.ones((12, inst.network.n_upper_nodes)),
+            0.02 * np.ones((12, inst.network.n_links)),
+        )
+
+    def test_window_validation(self):
+        from repro.ntier import NTierFHC, NTierRFHC
+
+        with pytest.raises(ValueError):
+            NTierFHC(0)
+        with pytest.raises(ValueError):
+            NTierRFHC(0)
+
+    def test_fhc_feasible_and_above_offline(self):
+        from repro.ntier import NTierFHC
+
+        inst = self._vee_instance()
+        traj = NTierFHC(3).run(inst)
+        assert traj.horizon == inst.horizon
+        assert inst.check_feasible(traj)
+        assert inst.cost(traj) >= solve_ntier_offline(inst).objective - 1e-6
+
+    def test_rfhc_bounded_by_online(self):
+        """Theorem-4 analogue: N-tier RFHC <= N-tier online."""
+        from repro.ntier import NTierRFHC
+
+        inst = self._vee_instance()
+        cfg = NTierConfig(epsilon=1e-2)
+        online_cost = inst.cost(NTierRegularizedOnline(cfg).run(inst))
+        for w in (2, 4):
+            traj = NTierRFHC(w, cfg).run(inst)
+            assert inst.check_feasible(traj)
+            assert inst.cost(traj) <= online_cost * (1 + 1e-6), f"w={w}"
+
+    def test_rfhc_window_one_is_online(self):
+        from repro.ntier import NTierRFHC
+
+        inst = self._vee_instance()
+        cfg = NTierConfig(epsilon=1e-2)
+        c_rfhc = inst.cost(NTierRFHC(1, cfg).run(inst))
+        c_on = inst.cost(NTierRegularizedOnline(cfg).run(inst))
+        assert c_rfhc == pytest.approx(c_on, rel=1e-4)
+
+    def test_rfhc_beats_fhc_on_vee(self):
+        from repro.ntier import NTierFHC, NTierRFHC
+
+        inst = self._vee_instance()
+        c_fhc = inst.cost(NTierFHC(3).run(inst))
+        c_rfhc = inst.cost(NTierRFHC(3, NTierConfig(epsilon=1e-2)).run(inst))
+        assert c_rfhc <= c_fhc + 1e-6
+
+    def test_pinned_terminal_charged(self):
+        inst = self._vee_instance().slice(0, 4)
+        net = inst.network
+        free = solve_ntier_offline(inst)
+        big = np.full(net.n_upper_nodes, 2.0)
+        bigY = np.full(net.n_links, 2.0)
+        pinned = solve_ntier_offline(inst, terminal_X=big, terminal_Y=bigY)
+        assert pinned.objective > free.objective
+
+    def test_terminal_args_must_pair(self):
+        inst = self._vee_instance().slice(0, 2)
+        with pytest.raises(ValueError, match="together"):
+            solve_ntier_offline(inst, terminal_X=np.zeros(7))

@@ -1,0 +1,55 @@
+"""Tests for the greedy one-shot baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineConfig, RegularizedOnline
+from repro.model import Instance, check_trajectory, evaluate_cost
+from repro.offline import GreedyOneShot, solve_offline
+
+from conftest import make_instance, make_network
+
+
+class TestGreedy:
+    def test_feasible(self, small_instance):
+        traj = GreedyOneShot().run(small_instance)
+        assert check_trajectory(small_instance, traj).ok
+
+    def test_at_least_offline(self, small_instance):
+        traj = GreedyOneShot().run(small_instance)
+        off = solve_offline(small_instance)
+        assert evaluate_cost(small_instance, traj).total >= off.objective - 1e-6
+
+    def test_ignores_future_reconfiguration(self, small_network):
+        """On a V-shaped workload with huge recon price, greedy re-buys
+        the ramp while the online algorithm holds — greedy costs more."""
+        T = 12
+        vee = np.concatenate([np.linspace(4.0, 0.2, 6), np.linspace(0.2, 4.0, 6)])
+        lam = vee[:, None] * np.ones((1, small_network.n_tier1))
+        inst = Instance(
+            small_network,
+            lam,
+            0.01 * np.ones((T, small_network.n_tier2)),
+            0.01 * np.ones((T, small_network.n_edges)),
+        )
+        greedy_cost = evaluate_cost(inst, GreedyOneShot().run(inst)).total
+        online_cost = evaluate_cost(
+            inst, RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+        ).total
+        off = solve_offline(inst).objective
+        assert greedy_cost > online_cost > off - 1e-9
+
+    def test_tracks_workload_exactly_when_prices_positive(self, small_instance):
+        """Greedy allocates exactly enough coverage each slot."""
+        traj = GreedyOneShot().run(small_instance)
+        cov = small_instance.network.aggregate_tier1(traj.s)
+        np.testing.assert_allclose(cov, small_instance.workload, rtol=1e-6, atol=1e-6)
+
+    def test_step_equals_one_shot_lp(self, small_instance):
+        from repro.model import Allocation
+
+        g = GreedyOneShot()
+        prev = Allocation.zeros(small_instance.network.n_edges)
+        step = g.step(small_instance, 0, prev)
+        ref = solve_offline(small_instance.slice(0, 1), initial=prev)
+        np.testing.assert_allclose(step.s, ref.trajectory.s[0])

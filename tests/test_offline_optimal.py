@@ -1,0 +1,179 @@
+"""Tests for the full-horizon LP (offline optimum and its variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.single import SingleResourceProblem, single_offline_optimal
+from repro.model import Allocation, Trajectory, check_trajectory, evaluate_cost
+from repro.offline import solve_offline
+
+from conftest import make_instance, make_network
+
+
+class TestBasicOptimum:
+    def test_feasible(self, small_instance):
+        res = solve_offline(small_instance)
+        assert check_trajectory(small_instance, res.trajectory).ok
+
+    def test_objective_matches_cost_model(self, small_instance):
+        """The LP objective must equal evaluate_cost of its trajectory."""
+        res = solve_offline(small_instance)
+        cost = evaluate_cost(small_instance, res.trajectory)
+        assert res.objective == pytest.approx(cost.total, rel=1e-6)
+
+    def test_lower_bounds_any_feasible_trajectory(self, small_instance):
+        res = solve_offline(small_instance)
+        net = small_instance.network
+        # A feasible reference: spread workload uniformly, hold peaks.
+        counts = net.aggregate_tier1(np.ones(net.n_edges))
+        s = small_instance.workload[:, net.edge_j] / counts[net.edge_j]
+        ref = Trajectory(s, s, s)
+        assert res.objective <= evaluate_cost(small_instance, ref).total + 1e-6
+
+    def test_matches_scalar_lp_on_single_edge(self, single_edge_instance):
+        inst = single_edge_instance
+        res = solve_offline(inst)
+        prob = SingleResourceProblem(
+            inst.workload[:, 0],
+            inst.tier2_price[:, 0],
+            capacity=inst.network.tier2_capacity[0],
+            recon_price=inst.network.tier2_recon_price[0],
+        )
+        _, scalar_opt = single_offline_optimal(prob)
+        assert res.objective == pytest.approx(scalar_opt, rel=1e-8)
+
+    def test_initial_state_lowers_cost(self, small_instance):
+        net = small_instance.network
+        free = solve_offline(small_instance)
+        warm = Allocation(
+            np.full(net.n_edges, 0.3),
+            np.full(net.n_edges, 0.3),
+            np.zeros(net.n_edges),
+        )
+        warmed = solve_offline(small_instance, initial=warm)
+        assert warmed.objective <= free.objective + 1e-9
+
+
+class TestPinnedTerminal:
+    def test_terminal_reconfiguration_charged(self, small_instance):
+        net = small_instance.network
+        short = small_instance.slice(0, 4)
+        free = solve_offline(short)
+        big = Allocation(
+            np.full(net.n_edges, 3.0),
+            np.full(net.n_edges, 3.0),
+            np.zeros(net.n_edges),
+        )
+        pinned = solve_offline(short, terminal=big)
+        assert pinned.objective > free.objective
+
+    def test_zero_terminal_is_free(self, small_instance):
+        short = small_instance.slice(0, 4)
+        free = solve_offline(short)
+        pinned = solve_offline(
+            short, terminal=Allocation.zeros(small_instance.network.n_edges)
+        )
+        assert pinned.objective == pytest.approx(free.objective, rel=1e-8)
+
+    def test_pinned_raises_terminal_ramp(self, small_instance):
+        """Pinning a large terminal should pull late allocations upward."""
+        net = small_instance.network
+        short = small_instance.slice(0, 4)
+        big = Allocation(
+            np.full(net.n_edges, 2.0),
+            np.full(net.n_edges, 2.0),
+            np.zeros(net.n_edges),
+        )
+        free = solve_offline(short)
+        pinned = solve_offline(short, terminal=big)
+        assert (
+            pinned.trajectory.y[-1].sum() >= free.trajectory.y[-1].sum() - 1e-9
+        )
+
+
+class TestChargeDecrease:
+    def test_reverse_charging_prefers_high_start(self, small_network):
+        """With decrease-charging, ramping down costs; upper envelope holds high."""
+        from repro.model import Instance
+
+        T = 4
+        lam = np.array([[4.0], [1.0], [1.0], [1.0]]) * np.ones((1, small_network.n_tier1))
+        inst = Instance(
+            small_network,
+            lam,
+            0.01 * np.ones((T, small_network.n_tier2)),
+            0.01 * np.ones((T, small_network.n_edges)),
+        )
+        fwd = solve_offline(inst).trajectory
+        rev = solve_offline(inst, charge_decrease=True).trajectory
+        # Reverse charging keeps the allocation at the initial peak.
+        assert rev.y[-1].sum() >= fwd.y[-1].sum() - 1e-9
+        assert rev.y[-1].sum() == pytest.approx(rev.y[0].sum(), rel=1e-6)
+
+
+class TestLowerBounds:
+    def test_lower_bounds_respected(self, small_instance):
+        net = small_instance.network
+        short = small_instance.slice(0, 3)
+        floor = Trajectory(
+            np.full((3, net.n_edges), 0.4),
+            np.full((3, net.n_edges), 0.4),
+            np.zeros((3, net.n_edges)),
+        )
+        res = solve_offline(short, lower=floor)
+        assert np.all(res.trajectory.x >= 0.4 - 1e-9)
+        assert np.all(res.trajectory.y >= 0.4 - 1e-9)
+
+    def test_lower_bounds_increase_cost(self, small_instance):
+        net = small_instance.network
+        short = small_instance.slice(0, 3)
+        free = solve_offline(short)
+        floor = Trajectory(
+            np.full((3, net.n_edges), 1.0),
+            np.full((3, net.n_edges), 1.0),
+            np.zeros((3, net.n_edges)),
+        )
+        res = solve_offline(short, lower=floor)
+        assert res.objective >= free.objective - 1e-9
+
+    def test_wrong_shape_rejected(self, small_instance):
+        with pytest.raises(ValueError, match="wrong shape"):
+            solve_offline(
+                small_instance.slice(0, 3),
+                lower=Trajectory.zeros(2, small_instance.network.n_edges),
+            )
+
+
+class TestBruteForceCrossCheck:
+    def test_two_slot_instance_against_grid_search(self):
+        """Exhaustive grid search on a 1-edge, 2-slot problem."""
+        from repro.model import Cloud, CloudNetwork, Instance, SLAEdge
+
+        net = CloudNetwork(
+            [Cloud("i", 4.0, recon_price=3.0)],
+            [Cloud("j", np.inf)],
+            [SLAEdge(0, 0, 4.0, recon_price=2.0)],
+        )
+        lam = np.array([[1.0], [2.0]])
+        a = np.array([[1.0], [1.5]])
+        c = np.array([[0.5], [0.5]])
+        inst = Instance(net, lam, a, c)
+        res = solve_offline(inst)
+
+        # Grid search over x=y=s in [lam, 4] (optimal solutions have
+        # x=y=s here because all prices are positive).
+        grid = np.linspace(0, 4.0, 161)
+        best = np.inf
+        for v1 in grid:
+            if v1 < 1.0:
+                continue
+            for v2 in grid:
+                if v2 < 2.0:
+                    continue
+                cost = (
+                    a[0, 0] * v1 + a[1, 0] * v2 + c[0, 0] * v1 + c[1, 0] * v2
+                    + 3.0 * (v1 + max(v2 - v1, 0.0))
+                    + 2.0 * (v1 + max(v2 - v1, 0.0))
+                )
+                best = min(best, cost)
+        assert res.objective == pytest.approx(best, abs=1e-6)

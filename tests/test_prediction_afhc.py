@@ -1,0 +1,81 @@
+"""Tests for the AFHC extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.model import check_trajectory, evaluate_cost
+from repro.offline import GreedyOneShot, solve_offline
+from repro.prediction import (
+    AveragingFixedHorizonControl,
+    FixedHorizonControl,
+    GaussianNoisePredictor,
+)
+
+from conftest import make_instance, make_network
+
+
+class TestAFHC:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            AveragingFixedHorizonControl(0)
+
+    def test_window_one_is_greedy(self, small_instance):
+        afhc = AveragingFixedHorizonControl(1).run(small_instance)
+        greedy = GreedyOneShot().run(small_instance)
+        assert evaluate_cost(small_instance, afhc).total == pytest.approx(
+            evaluate_cost(small_instance, greedy).total, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("window", [2, 4])
+    def test_feasible(self, small_instance, window):
+        traj = AveragingFixedHorizonControl(window).run(small_instance)
+        rep = check_trajectory(small_instance, traj)
+        assert rep.ok, rep.describe()
+
+    def test_noisy_feasible(self, small_instance):
+        traj = AveragingFixedHorizonControl(
+            3, predictor=GaussianNoisePredictor(0.2, seed=1)
+        ).run(small_instance)
+        assert check_trajectory(small_instance, traj).ok
+
+    def test_at_least_offline(self, small_instance):
+        off = solve_offline(small_instance).objective
+        traj = AveragingFixedHorizonControl(3).run(small_instance)
+        assert evaluate_cost(small_instance, traj).total >= off - 1e-6
+
+    def test_averaging_smooths_fhc_on_vee(self, small_network):
+        """On a V-shaped workload the staggered average reconfigures
+        less than any single FHC pass."""
+        from repro.model import Instance
+
+        T = 12
+        vee = np.concatenate([np.linspace(4.0, 0.3, 6), np.linspace(0.3, 4.0, 6)])
+        lam = vee[:, None] * np.ones((1, small_network.n_tier1))
+        inst = Instance(
+            small_network,
+            lam,
+            0.02 * np.ones((T, small_network.n_tier2)),
+            0.02 * np.ones((T, small_network.n_edges)),
+        )
+        w = 3
+        afhc = evaluate_cost(inst, AveragingFixedHorizonControl(w).run(inst)).total
+        fhc = evaluate_cost(inst, FixedHorizonControl(w).run(inst)).total
+        assert afhc <= fhc + 1e-6
+
+
+class TestAFHCEdgeCases:
+    def test_window_longer_than_horizon(self, small_instance):
+        short = small_instance.slice(0, 3)
+        traj = AveragingFixedHorizonControl(10).run(short)
+        assert traj.horizon == 3
+        assert check_trajectory(short, traj).ok
+
+    def test_offset_passes_cover_horizon(self, small_instance):
+        """Every staggered pass must produce exactly T slots."""
+        ctrl = AveragingFixedHorizonControl(4)
+        from repro.model import Allocation
+
+        init = Allocation.zeros(small_instance.network.n_edges)
+        for offset in range(4):
+            traj = ctrl._fhc_with_offset(small_instance, offset, init)
+            assert traj.horizon == small_instance.horizon

@@ -1,0 +1,49 @@
+"""Tests for the shared regularized chain used by RFHC/RRHC."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineConfig, RegularizedOnline
+from repro.prediction.chain import RegularizedChain
+from repro.prediction.predictors import ExactPredictor, GaussianNoisePredictor
+
+from conftest import make_instance, make_network
+
+
+class TestChain:
+    def test_matches_online_with_exact_predictions(self, small_instance):
+        """With exact forecasts the chain IS the online trajectory."""
+        cfg = OnlineConfig(epsilon=1e-2)
+        chain = RegularizedChain(small_instance, cfg, ExactPredictor())
+        online = RegularizedOnline(cfg).run(small_instance)
+        for t in (0, 3, small_instance.horizon - 1):
+            np.testing.assert_allclose(
+                chain[t].tier2_totals(small_instance.network),
+                online.tier2_totals(small_instance.network)[t],
+                rtol=1e-5,
+                atol=1e-6,
+            )
+
+    def test_lazy_extension(self, small_instance):
+        chain = RegularizedChain(
+            small_instance, OnlineConfig(epsilon=1e-2), ExactPredictor()
+        )
+        assert len(chain.entries) == 0
+        chain.extend_to(2)
+        assert len(chain.entries) == 3
+        chain.extend_to(1)  # no-op
+        assert len(chain.entries) == 3
+
+    def test_out_of_range_rejected(self, small_instance):
+        chain = RegularizedChain(
+            small_instance, OnlineConfig(epsilon=1e-2), ExactPredictor()
+        )
+        with pytest.raises(ValueError):
+            chain.extend_to(small_instance.horizon)
+
+    def test_noisy_chain_uses_frozen_forecasts(self, small_instance):
+        """Indexing twice returns the same decision (frozen forecasts)."""
+        pred = GaussianNoisePredictor(0.2, seed=5)
+        chain = RegularizedChain(small_instance, OnlineConfig(epsilon=1e-2), pred)
+        first = chain[2].x.copy()
+        np.testing.assert_array_equal(chain[2].x, first)

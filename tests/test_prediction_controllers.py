@@ -1,0 +1,178 @@
+"""Tests for FHC, RHC, RFHC, RRHC (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineConfig, RegularizedOnline
+from repro.model import check_trajectory, evaluate_cost
+from repro.offline import GreedyOneShot, solve_offline
+from repro.prediction import (
+    FixedHorizonControl,
+    GaussianNoisePredictor,
+    RecedingHorizonControl,
+    RegularizedFixedHorizonControl,
+    RegularizedRecedingHorizonControl,
+)
+
+from conftest import make_instance, make_network
+
+
+EPS = 1e-2
+
+
+def total(instance, traj):
+    return evaluate_cost(instance, traj).total
+
+
+class TestWindowValidation:
+    @pytest.mark.parametrize(
+        "ctor",
+        [
+            FixedHorizonControl,
+            RecedingHorizonControl,
+            RegularizedFixedHorizonControl,
+            RegularizedRecedingHorizonControl,
+        ],
+    )
+    def test_rejects_zero_window(self, ctor):
+        with pytest.raises(ValueError):
+            ctor(0)
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("window", [1, 3, 5])
+    def test_all_controllers_feasible(self, small_instance, window):
+        for ctor in (
+            FixedHorizonControl,
+            RecedingHorizonControl,
+            RegularizedFixedHorizonControl,
+            RegularizedRecedingHorizonControl,
+        ):
+            traj = ctor(window).run(small_instance)
+            rep = check_trajectory(small_instance, traj)
+            assert rep.ok, f"{ctor.__name__}: {rep.describe()}"
+
+    def test_noisy_controllers_feasible(self, small_instance):
+        for ctor in (FixedHorizonControl, RegularizedRecedingHorizonControl):
+            traj = ctor(3, predictor=GaussianNoisePredictor(0.3, seed=1)).run(
+                small_instance
+            )
+            assert check_trajectory(small_instance, traj).ok
+
+
+class TestDegenerateWindows:
+    def test_fhc_window_one_is_greedy(self, small_instance):
+        fhc = FixedHorizonControl(1).run(small_instance)
+        greedy = GreedyOneShot().run(small_instance)
+        assert total(small_instance, fhc) == pytest.approx(
+            total(small_instance, greedy), rel=1e-6
+        )
+
+    def test_rhc_window_one_is_greedy(self, small_instance):
+        rhc = RecedingHorizonControl(1).run(small_instance)
+        greedy = GreedyOneShot().run(small_instance)
+        assert total(small_instance, rhc) == pytest.approx(
+            total(small_instance, greedy), rel=1e-6
+        )
+
+    def test_fhc_full_horizon_is_offline(self, small_instance):
+        fhc = FixedHorizonControl(small_instance.horizon).run(small_instance)
+        off = solve_offline(small_instance)
+        assert total(small_instance, fhc) == pytest.approx(off.objective, rel=1e-6)
+
+    def test_rfhc_window_one_is_online(self, small_instance):
+        rfhc = RegularizedFixedHorizonControl(1, OnlineConfig(epsilon=EPS)).run(
+            small_instance
+        )
+        online = RegularizedOnline(OnlineConfig(epsilon=EPS)).run(small_instance)
+        assert total(small_instance, rfhc) == pytest.approx(
+            total(small_instance, online), rel=1e-4
+        )
+
+    def test_rrhc_window_one_is_online(self, small_instance):
+        rrhc = RegularizedRecedingHorizonControl(1, OnlineConfig(epsilon=EPS)).run(
+            small_instance
+        )
+        online = RegularizedOnline(OnlineConfig(epsilon=EPS)).run(small_instance)
+        assert total(small_instance, rrhc) == pytest.approx(
+            total(small_instance, online), rel=1e-4
+        )
+
+
+class TestTheorem4:
+    """RFHC/RRHC with exact predictions never cost more than the online
+    algorithm (they inherit its competitive ratio)."""
+
+    @pytest.mark.parametrize("window", [2, 4])
+    def test_rfhc_upper_bounded_by_online(self, small_instance, window):
+        online_cost = total(
+            small_instance, RegularizedOnline(OnlineConfig(epsilon=EPS)).run(small_instance)
+        )
+        rfhc_cost = total(
+            small_instance,
+            RegularizedFixedHorizonControl(window, OnlineConfig(epsilon=EPS)).run(
+                small_instance
+            ),
+        )
+        assert rfhc_cost <= online_cost * (1 + 1e-6)
+
+    @pytest.mark.parametrize("window", [2, 4])
+    def test_rrhc_upper_bounded_by_online(self, small_instance, window):
+        online_cost = total(
+            small_instance, RegularizedOnline(OnlineConfig(epsilon=EPS)).run(small_instance)
+        )
+        rrhc_cost = total(
+            small_instance,
+            RegularizedRecedingHorizonControl(window, OnlineConfig(epsilon=EPS)).run(
+                small_instance
+            ),
+        )
+        assert rrhc_cost <= online_cost * (1 + 1e-6)
+
+    def test_all_at_least_offline(self, small_instance):
+        off = solve_offline(small_instance).objective
+        for ctor in (
+            FixedHorizonControl,
+            RecedingHorizonControl,
+            RegularizedFixedHorizonControl,
+            RegularizedRecedingHorizonControl,
+        ):
+            cost = total(small_instance, ctor(3).run(small_instance))
+            assert cost >= off - 1e-6
+
+
+class TestNoiseRobustness:
+    def test_rfhc_degrades_less_than_fhc(self, small_network):
+        """Fig 10's shape on a ramp-heavy workload."""
+        from repro.model import Instance
+
+        T = 20
+        vee = np.concatenate(
+            [np.linspace(4.0, 0.3, 10), np.linspace(0.3, 4.0, 11)[1:]]
+        )
+        lam = vee[:, None] * np.ones((1, small_network.n_tier1))
+        rng = np.random.default_rng(0)
+        inst = Instance(
+            small_network,
+            lam,
+            0.05 * (1 + 0.1 * rng.random((T, small_network.n_tier2))),
+            0.02 * np.ones((T, small_network.n_edges)),
+        )
+        w, err = 3, 0.15
+        for seed in (2, 3, 4):
+            fhcN = total(
+                inst,
+                FixedHorizonControl(
+                    w, predictor=GaussianNoisePredictor(err, seed=seed)
+                ).run(inst),
+            )
+            rfhcN = total(
+                inst,
+                RegularizedFixedHorizonControl(
+                    w,
+                    OnlineConfig(epsilon=1e-3),
+                    predictor=GaussianNoisePredictor(err, seed=seed),
+                ).run(inst),
+            )
+            # Under noise, regularized control keeps its lead over FHC.
+            assert rfhcN < fhcN

@@ -1,0 +1,110 @@
+"""Tests for forecast oracles."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import ExactPredictor, GaussianNoisePredictor
+
+from conftest import make_instance, make_network
+
+
+class TestExactPredictor:
+    def test_returns_true_slice(self, small_instance):
+        p = ExactPredictor()
+        win = p.window(small_instance, 3, 4)
+        np.testing.assert_array_equal(win.workload, small_instance.workload[3:7])
+
+    def test_truncates_at_horizon(self, small_instance):
+        p = ExactPredictor()
+        win = p.window(small_instance, small_instance.horizon - 2, 10)
+        assert win.horizon == 2
+
+
+class TestGaussianNoisePredictor:
+    def test_zero_error_equals_truth(self, small_instance):
+        p = GaussianNoisePredictor(0.0, seed=1)
+        win = p.window(small_instance, 0, 5)
+        np.testing.assert_allclose(win.workload, small_instance.workload[0:5])
+
+    def test_noise_magnitude_scales_with_error(self, small_instance):
+        lo = GaussianNoisePredictor(0.01, seed=2).window(small_instance, 0, 10)
+        hi = GaussianNoisePredictor(0.5, seed=2).window(small_instance, 0, 10)
+        true = small_instance.workload[0:10]
+        assert np.abs(hi.workload - true).mean() > np.abs(lo.workload - true).mean()
+
+    def test_frozen_forecasts_consistent(self, small_instance):
+        p = GaussianNoisePredictor(0.2, seed=3, frozen=True)
+        first = p.window(small_instance, 2, 4).workload.copy()
+        again = p.window(small_instance, 2, 4).workload
+        np.testing.assert_array_equal(first, again)
+        # Overlapping window reuses the same slot forecasts.
+        overlap = p.window(small_instance, 3, 2).workload
+        np.testing.assert_array_equal(overlap[0], first[1])
+
+    def test_reset_reproduces_stream(self, small_instance):
+        p = GaussianNoisePredictor(0.2, seed=4)
+        a = p.window(small_instance, 0, 6).workload.copy()
+        p.reset()
+        b = p.window(small_instance, 0, 6).workload
+        np.testing.assert_array_equal(a, b)
+
+    def test_forecasts_stay_feasible(self, small_instance):
+        """Noisy workloads must remain within the capacity envelope."""
+        net = small_instance.network
+        p = GaussianNoisePredictor(2.0, seed=5)  # absurdly noisy
+        link_sum = net.aggregate_tier1(net.edge_capacity)
+        for t in range(0, small_instance.horizon, 3):
+            win = p.window(small_instance, t, 3)
+            assert np.all(win.workload >= 0)
+            assert np.all(win.workload <= link_sum[None, :] + 1e-9)
+            assert np.all(win.workload.sum(axis=1) <= net.tier2_capacity.sum() + 1e-9)
+            assert np.all(win.tier2_price >= 0)
+
+    def test_error_rate_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoisePredictor(-0.1)
+
+
+class TestDecayingAccuracyPredictor:
+    def test_error_grows_with_lead(self, small_instance):
+        """Average forecast error over many resets grows with lead time."""
+        from repro.prediction import DecayingAccuracyPredictor
+
+        errs = np.zeros(6)
+        for seed in range(30):
+            p = DecayingAccuracyPredictor(0.1, growth=1.0, seed=seed)
+            win = p.window(small_instance, 0, 6)
+            errs += np.abs(win.workload - small_instance.workload[0:6]).mean(axis=1)
+        assert errs[5] > errs[0]
+        assert errs[4] > errs[1]
+
+    def test_refresh_on_closer_decision_time(self, small_instance):
+        """Re-predicting a slot with a smaller lead redraws the forecast."""
+        from repro.prediction import DecayingAccuracyPredictor
+
+        p = DecayingAccuracyPredictor(0.3, growth=2.0, seed=1)
+        far = p.window(small_instance, 0, 6).workload[5].copy()  # lead 5
+        near = p.window(small_instance, 5, 1).workload[0]        # lead 0
+        assert not np.allclose(far, near)
+        # And the refreshed (closer) forecast is kept afterwards.
+        again = p.window(small_instance, 5, 1).workload[0]
+        np.testing.assert_array_equal(near, again)
+
+    def test_growth_validation(self):
+        from repro.prediction import DecayingAccuracyPredictor
+
+        with pytest.raises(ValueError):
+            DecayingAccuracyPredictor(0.1, growth=-1.0)
+
+    def test_works_with_controllers(self, small_instance):
+        from repro.model import check_trajectory
+        from repro.prediction import (
+            DecayingAccuracyPredictor,
+            RegularizedRecedingHorizonControl,
+        )
+
+        ctrl = RegularizedRecedingHorizonControl(
+            3, predictor=DecayingAccuracyPredictor(0.15, seed=2)
+        )
+        traj = ctrl.run(small_instance)
+        assert check_trajectory(small_instance, traj).ok

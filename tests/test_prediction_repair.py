@@ -1,0 +1,53 @@
+"""Tests for the minimal-cost top-up repair."""
+
+import numpy as np
+import pytest
+
+from repro.model import Allocation
+from repro.prediction import topup_repair
+
+from conftest import make_instance, make_network
+
+
+class TestRepair:
+    def test_identity_when_plan_covers(self, small_instance):
+        net = small_instance.network
+        counts = net.aggregate_tier1(np.ones(net.n_edges))
+        s = small_instance.workload[0][net.edge_j] / counts[net.edge_j]
+        planned = Allocation(s.copy(), s.copy(), s.copy())
+        prev = Allocation.zeros(net.n_edges)
+        applied = topup_repair(small_instance, 0, planned, prev)
+        np.testing.assert_array_equal(applied.x, planned.x)
+        np.testing.assert_array_equal(applied.s, planned.s)
+
+    def test_topup_covers_realized_demand(self, small_instance):
+        net = small_instance.network
+        # Plan covers only half of the realized workload.
+        counts = net.aggregate_tier1(np.ones(net.n_edges))
+        s = 0.5 * small_instance.workload[0][net.edge_j] / counts[net.edge_j]
+        planned = Allocation(s.copy(), s.copy(), s.copy())
+        prev = Allocation.zeros(net.n_edges)
+        applied = topup_repair(small_instance, 0, planned, prev)
+        cov = net.aggregate_tier1(applied.s)
+        assert np.all(cov >= small_instance.workload[0] - 1e-6)
+
+    def test_never_releases_planned_physical_allocation(self, small_instance):
+        net = small_instance.network
+        counts = net.aggregate_tier1(np.ones(net.n_edges))
+        s = 0.5 * small_instance.workload[0][net.edge_j] / counts[net.edge_j]
+        planned = Allocation(s.copy(), s.copy(), s.copy())
+        prev = Allocation.zeros(net.n_edges)
+        applied = topup_repair(small_instance, 0, planned, prev)
+        assert np.all(applied.x >= planned.x - 1e-9)
+        assert np.all(applied.y >= planned.y - 1e-9)
+
+    def test_capacity_exceeding_plan_is_capped(self, small_instance):
+        """A plan beyond link capacity must not make the repair fail."""
+        net = small_instance.network
+        big = np.full(net.n_edges, 100.0)
+        planned = Allocation(big.copy(), big.copy(), big.copy())
+        prev = Allocation.zeros(net.n_edges)
+        applied = topup_repair(small_instance, 0, planned, prev)
+        assert np.all(applied.y <= net.edge_capacity + 1e-6)
+        cov = net.aggregate_tier1(applied.s)
+        assert np.all(cov >= small_instance.workload[0] - 1e-6)

@@ -1,0 +1,112 @@
+"""Tests for the pricing substrate (Tables I and II)."""
+
+import numpy as np
+import pytest
+
+from repro.pricing import (
+    BANDWIDTH_TIERS,
+    ELECTRICITY_MARKETS,
+    ElectricityMarket,
+    ElectricityPriceModel,
+    bandwidth_price,
+    bandwidth_price_table,
+)
+
+
+class TestBandwidth:
+    def test_table_values(self):
+        assert bandwidth_price(5.0) == pytest.approx(0.090)
+        assert bandwidth_price(30.0) == pytest.approx(0.085)
+        assert bandwidth_price(100.0) == pytest.approx(0.070)
+        assert bandwidth_price(300.0) == pytest.approx(0.050)
+        assert bandwidth_price(10_000.0) == pytest.approx(0.050)
+
+    def test_boundaries_belong_to_lower_tier(self):
+        assert bandwidth_price(10.0) == pytest.approx(0.090)
+        assert bandwidth_price(10.0 + 1e-9) == pytest.approx(0.085)
+
+    def test_vectorized(self):
+        caps = np.array([1.0, 20.0, 60.0, 200.0])
+        np.testing.assert_allclose(
+            bandwidth_price(caps), [0.090, 0.085, 0.070, 0.050]
+        )
+
+    def test_monotone_non_increasing(self):
+        caps = np.linspace(0.1, 1000, 500)
+        prices = bandwidth_price(caps)
+        assert np.all(np.diff(prices) <= 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_price(-1.0)
+
+    def test_table_rendering(self):
+        rows = bandwidth_price_table()
+        assert len(rows) == len(BANDWIDTH_TIERS)
+        assert rows[0][1] == 0.090
+
+
+class TestElectricityMarkets:
+    def test_paper_rows_embedded_verbatim(self):
+        by_name = {m.name: m for m in ELECTRICITY_MARKETS}
+        assert by_name["PJM"].mean == 40.6 and by_name["PJM"].std == 26.9
+        assert by_name["PJM-Chicago"].mean == 54.0
+        assert by_name["CAISO"].mean == 77.9 and by_name["CAISO"].std == 40.3
+        assert by_name["ISONE"].mean == 66.5 and by_name["ISONE"].std == 25.8
+
+    def test_market_validation(self):
+        with pytest.raises(ValueError):
+            ElectricityMarket("bad", -1.0, 1.0, (0.0, 0.0))
+
+
+class TestPriceSynthesis:
+    def test_moments_match_table(self):
+        model = ElectricityPriceModel()
+        locs = [m.location for m in model.markets]
+        series = model.series(locs, 20_000, seed=0)
+        for idx, m in enumerate(model.markets):
+            s = series[:, idx]
+            # Truncation at ~0 biases moments slightly; allow a few %.
+            assert s.mean() == pytest.approx(m.mean, rel=0.08)
+            assert s.std() == pytest.approx(m.std, rel=0.12)
+
+    def test_prices_positive(self):
+        model = ElectricityPriceModel()
+        series = model.series([m.location for m in model.markets], 1000, seed=1)
+        assert series.min() > 0
+
+    def test_non_market_locations_fixed_price(self):
+        model = ElectricityPriceModel(market_share=0.5)
+        locs = [m.location for m in model.markets]
+        series = model.series(locs, 100, seed=2)
+        n_market = int(np.ceil(0.5 * len(locs)))
+        fixed = series[:, n_market:]
+        assert np.all(fixed.std(axis=0) < 1e-9)
+        varying = series[:, :n_market]
+        assert np.all(varying.std(axis=0) > 0)
+
+    def test_closest_market_assignment(self):
+        model = ElectricityPriceModel()
+        # A location next to Boston must map to ISONE.
+        idx = model.assign_markets([(42.4, -71.0)])
+        assert model.markets[int(idx[0])].name == "ISONE"
+
+    def test_deterministic_with_seed(self):
+        model = ElectricityPriceModel()
+        locs = [(40.0, -100.0)]
+        a = model.series(locs, 50, seed=3)
+        b = model.series(locs, 50, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElectricityPriceModel(market_share=1.5)
+        with pytest.raises(ValueError):
+            ElectricityPriceModel(markets=())
+        model = ElectricityPriceModel()
+        with pytest.raises(ValueError):
+            model.series([(0.0, 0.0)], 0)
+
+    def test_table_rows(self):
+        rows = ElectricityPriceModel().table()
+        assert ("PJM", 40.6, 26.9) in rows

@@ -1,0 +1,166 @@
+"""Tests for the sparse LP modeling layer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers import LinearProgram, LPError
+
+
+class TestBlocks:
+    def test_duplicate_block_rejected(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            lp.add_block("x", 3)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            LinearProgram().add_block("x", 0)
+
+    def test_lb_above_ub_rejected(self):
+        with pytest.raises(ValueError, match="lb > ub"):
+            LinearProgram().add_block("x", 2, lb=1.0, ub=0.5)
+
+    def test_set_cost(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2, lb=1.0, cost=0.0)
+        lp.set_cost("x", np.array([3.0, 5.0]))
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(8.0)
+
+    def test_set_cost_unknown_block(self):
+        lp = LinearProgram()
+        lp.add_block("x", 1)
+        with pytest.raises(KeyError):
+            lp.set_cost("y", 1.0)
+
+
+class TestConstraints:
+    def test_unknown_block_in_rows(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2)
+        with pytest.raises(KeyError):
+            lp.add_rows("<=", np.array([1.0]), y=np.ones((1, 2)))
+
+    def test_bad_coefficient_shape(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2)
+        with pytest.raises(ValueError, match="shape"):
+            lp.add_rows("<=", np.array([1.0]), x=np.ones((1, 3)))
+
+    def test_bad_sense(self):
+        lp = LinearProgram()
+        lp.add_block("x", 1)
+        with pytest.raises(ValueError, match="sense"):
+            lp.add_rows("<", np.array([1.0]), x=np.ones((1, 1)))
+
+
+class TestSolve:
+    def test_simple_covering(self):
+        lp = LinearProgram()
+        lp.add_block("x", 3, lb=0.0, cost=[1.0, 2.0, 3.0])
+        lp.add_rows(">=", np.array([2.0]), x=np.ones((1, 3)))
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(2.0)
+        np.testing.assert_allclose(sol["x"], [2.0, 0.0, 0.0])
+
+    def test_equality_rows(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2, lb=0.0, cost=[1.0, 1.0])
+        lp.add_rows("==", np.array([3.0]), x=np.array([[1.0, 2.0]]))
+        sol = lp.solve()
+        # Cheapest way to satisfy x0 + 2 x1 = 3 with unit costs: x1 = 1.5.
+        assert sol.objective == pytest.approx(1.5)
+
+    def test_multi_block_constraint(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2, cost=1.0)
+        lp.add_block("y", 2, cost=2.0)
+        # x_i + y_i >= 1.
+        lp.add_rows(">=", np.ones(2), x=sp.identity(2), y=sp.identity(2))
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(2.0)
+        np.testing.assert_allclose(sol["y"], [0.0, 0.0])
+
+    def test_upper_bounds_respected(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2, lb=0.0, ub=[0.4, 10.0], cost=[1.0, 5.0])
+        lp.add_rows(">=", np.array([1.0]), x=np.ones((1, 2)))
+        sol = lp.solve()
+        assert sol["x"][0] == pytest.approx(0.4)
+        assert sol["x"][1] == pytest.approx(0.6)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        lp.add_block("x", 1, lb=0.0, ub=1.0, cost=1.0)
+        lp.add_rows(">=", np.array([5.0]), x=np.ones((1, 1)))
+        with pytest.raises(LPError):
+            lp.solve()
+
+    def test_against_dense_linprog(self):
+        """Cross-check block assembly against a hand-assembled LP."""
+        rng = np.random.default_rng(0)
+        A = rng.random((4, 6))
+        b = A @ np.ones(6)  # feasible
+        cost = rng.random(6)
+        lp = LinearProgram()
+        lp.add_block("u", 3, lb=0.0, cost=cost[:3])
+        lp.add_block("v", 3, lb=0.0, cost=cost[3:])
+        lp.add_rows(">=", b, u=A[:, :3], v=A[:, 3:])
+        sol = lp.solve()
+
+        from scipy.optimize import linprog
+
+        ref = linprog(cost, A_ub=-A, b_ub=-b, bounds=[(0, None)] * 6, method="highs")
+        assert sol.objective == pytest.approx(ref.fun, rel=1e-8)
+
+
+class TestDuals:
+    def _covering(self):
+        lp = LinearProgram()
+        lp.add_block("x", 3, lb=0.0, ub=5.0, cost=[1.0, 2.0, 3.0])
+        lp.add_rows(">=", np.array([2.0]), x=np.ones((1, 3)))
+        return lp
+
+    def test_covering_dual_is_cheapest_price(self):
+        sol = self._covering().solve()
+        # Tightening the covering requirement costs the cheapest unit.
+        assert sol.row_duals[0][0] == pytest.approx(1.0)
+
+    def test_strong_duality(self):
+        rng = np.random.default_rng(3)
+        A = rng.random((4, 6)) + 0.1
+        b = A @ (0.5 * np.ones(6))
+        cost = rng.random(6) + 0.1
+        lp = LinearProgram()
+        lp.add_block("x", 6, lb=0.0, cost=cost)
+        lp.add_rows(">=", b, x=A)
+        sol = lp.solve()
+        # Dual objective b^T y equals the primal optimum.
+        assert sol.row_duals[0] @ b == pytest.approx(sol.objective, rel=1e-8)
+
+    def test_complementary_slackness(self):
+        sol = self._covering().solve()
+        x = sol["x"]
+        rc = sol.reduced_costs("x")
+        # Variables strictly inside their bounds have zero reduced cost.
+        interior = (x > 1e-9) & (x < 5.0 - 1e-9)
+        assert np.all(np.abs(rc[interior]) < 1e-9)
+
+    def test_equality_duals_returned(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2, lb=0.0, cost=[1.0, 1.0])
+        lp.add_rows("==", np.array([3.0]), x=np.array([[1.0, 2.0]]))
+        sol = lp.solve()
+        # Marginal cost of raising the equality RHS: 0.5 (via x1).
+        assert sol.row_duals[0][0] == pytest.approx(0.5)
+
+    def test_group_order_preserved(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2, lb=0.0, cost=[1.0, 4.0])
+        lp.add_rows(">=", np.array([1.0]), x=np.array([[1.0, 0.0]]))
+        lp.add_rows(">=", np.array([1.0]), x=np.array([[0.0, 1.0]]))
+        sol = lp.solve()
+        assert sol.row_duals[0][0] == pytest.approx(1.0)
+        assert sol.row_duals[1][0] == pytest.approx(4.0)

@@ -1,0 +1,154 @@
+"""Tests for the topology substrate (geo, capacity, builder)."""
+
+import numpy as np
+import pytest
+
+from repro.model import check_instance_feasible, necessary_conditions
+from repro.topology import (
+    ATT_SITES,
+    STATE_CAPITALS,
+    PaperTopologyBuilder,
+    build_paper_instance,
+    haversine_matrix,
+    k_nearest,
+    provision_capacities,
+)
+from repro.workloads import WikipediaLikeWorkload
+
+
+class TestSites:
+    def test_counts_match_paper(self):
+        assert len(ATT_SITES) == 18
+        assert len(STATE_CAPITALS) == 48
+
+    def test_unique_names(self):
+        caps = {(s.name, s.state) for s in STATE_CAPITALS}
+        assert len(caps) == 48
+
+    def test_continental_coordinates(self):
+        for s in ATT_SITES + STATE_CAPITALS:
+            assert 24 < s.lat < 50
+            assert -125 < s.lon < -66
+
+
+class TestGeo:
+    def test_haversine_zero_on_diagonal(self):
+        lats = np.array([40.0, 30.0])
+        lons = np.array([-100.0, -90.0])
+        d = haversine_matrix(lats, lons, lats, lons)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+    def test_haversine_known_distance(self):
+        # NYC to LA: ~3936 km.
+        d = haversine_matrix(
+            np.array([40.71]), np.array([-74.01]),
+            np.array([34.05]), np.array([-118.24]),
+        )
+        assert d[0, 0] == pytest.approx(3936, rel=0.02)
+
+    def test_haversine_symmetry(self):
+        rng = np.random.default_rng(0)
+        lats = rng.uniform(25, 49, 5)
+        lons = rng.uniform(-120, -70, 5)
+        d = haversine_matrix(lats, lons, lats, lons)
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+
+    def test_k_nearest_ordering(self):
+        d = np.array([[3.0, 1.0, 2.0]])
+        np.testing.assert_array_equal(k_nearest(d, 2)[0], [1, 2])
+
+    def test_k_nearest_validation(self):
+        d = np.ones((2, 3))
+        with pytest.raises(ValueError):
+            k_nearest(d, 0)
+        with pytest.raises(ValueError):
+            k_nearest(d, 4)
+
+
+class TestCapacityProvisioning:
+    def test_k1_rule(self):
+        peaks = np.array([4.0, 2.0])
+        assignment = np.array([[0], [0]])
+        caps = provision_capacities(peaks, assignment, n_tier2=2)
+        assert caps.tier2[0] == pytest.approx(1.25 * 6.0)
+        # Unselected cloud gets the minimal floor.
+        assert 0 < caps.tier2[1] < 1.0
+
+    def test_k2_even_split(self):
+        peaks = np.array([4.0])
+        assignment = np.array([[0, 1]])
+        caps = provision_capacities(peaks, assignment, n_tier2=2)
+        np.testing.assert_allclose(caps.tier2, 1.25 * 2.0)
+
+    def test_edge_capacity_equals_incident_cloud(self):
+        peaks = np.array([4.0, 3.0])
+        assignment = np.array([[0, 1], [1, 0]])
+        caps = provision_capacities(peaks, assignment, n_tier2=2)
+        np.testing.assert_allclose(
+            caps.edges, caps.tier2[assignment.ravel()]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            provision_capacities(np.array([1.0]), np.array([[0]]), 1, headroom=0.9)
+        with pytest.raises(ValueError):
+            provision_capacities(np.array([-1.0]), np.array([[0]]), 1)
+
+
+class TestBuilder:
+    def test_instances_are_feasible(self):
+        trace = WikipediaLikeWorkload(horizon=30).generate()
+        for k in (1, 2, 3):
+            inst = build_paper_instance(trace, k=k, n_tier2=5, n_tier1=8)
+            assert necessary_conditions(inst).ok
+            assert check_instance_feasible(inst).ok
+
+    def test_peak_consumes_80_percent(self):
+        trace = WikipediaLikeWorkload(horizon=30).generate()
+        inst = build_paper_instance(trace, k=1, n_tier2=5, n_tier1=8)
+        net = inst.network
+        # At the global peak slot, selected clouds run at 80% capacity.
+        used = np.zeros(net.n_tier2)
+        peaks = inst.workload.max(axis=0)
+        np.add.at(used, net.edge_i, peaks[net.edge_j])
+        sel = used > 0
+        np.testing.assert_allclose(
+            used[sel] / net.tier2_capacity[sel], 0.8, rtol=1e-6
+        )
+
+    def test_recon_weight_scales_prices(self):
+        trace = WikipediaLikeWorkload(horizon=20).generate()
+        lo = build_paper_instance(trace, recon_weight=10.0, n_tier2=4, n_tier1=6)
+        hi = build_paper_instance(trace, recon_weight=1000.0, n_tier2=4, n_tier1=6)
+        np.testing.assert_allclose(
+            hi.network.tier2_recon_price, 100.0 * lo.network.tier2_recon_price
+        )
+
+    def test_sla_edges_are_k_nearest(self):
+        trace = WikipediaLikeWorkload(horizon=10).generate()
+        builder = PaperTopologyBuilder(k=2, n_tier2=6, n_tier1=5)
+        inst = builder.build(trace)
+        assert inst.network.n_edges == 5 * 2
+        for j in range(5):
+            assert len(inst.network.edges_of_tier1(j)) == 2
+
+    def test_subset_validation(self):
+        trace = WikipediaLikeWorkload(horizon=5).generate()
+        with pytest.raises(ValueError):
+            PaperTopologyBuilder(n_tier2=99).build(trace)
+        with pytest.raises(ValueError):
+            PaperTopologyBuilder(n_tier1=0).build(trace)
+
+    def test_per_cloud_workload_matrix_accepted(self):
+        T, J = 10, 6
+        rng = np.random.default_rng(0)
+        workload = rng.random((T, J)) + 0.1
+        builder = PaperTopologyBuilder(k=1, n_tier2=4, n_tier1=J)
+        inst = builder.build(workload)
+        np.testing.assert_array_equal(inst.workload, workload)
+
+    def test_deterministic_prices(self):
+        trace = WikipediaLikeWorkload(horizon=12).generate()
+        a = build_paper_instance(trace, n_tier2=4, n_tier1=6, seed=11)
+        b = build_paper_instance(trace, n_tier2=4, n_tier1=6, seed=11)
+        np.testing.assert_array_equal(a.tier2_price, b.tier2_price)

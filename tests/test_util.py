@@ -1,0 +1,87 @@
+"""Tests for the utility layer (rng, validation, timing)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    Timer,
+    as_generator,
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_shape,
+    spawn_generators,
+)
+
+
+class TestRng:
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_independent_streams(self):
+        kids = spawn_generators(7, 3)
+        draws = [g.random(4) for g in kids]
+        assert not np.allclose(draws[0], draws[1])
+        # Re-spawning reproduces the same children.
+        again = spawn_generators(7, 3)
+        np.testing.assert_array_equal(draws[2], again[2].random(4))
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_spawn_from_generator(self):
+        kids = spawn_generators(np.random.default_rng(1), 2)
+        assert len(kids) == 2
+
+
+class TestValidation:
+    def test_check_finite(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite("x", np.array([1.0, np.nan]))
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite("x", np.array([np.inf]))
+        np.testing.assert_array_equal(check_finite("x", [1, 2]), [1.0, 2.0])
+
+    def test_check_nonnegative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_nonnegative("x", np.array([-0.1]))
+        check_nonnegative("x", np.array([0.0, 1.0]))
+
+    def test_check_positive(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            check_positive("x", np.array([0.0]))
+        check_positive("x", np.array([0.5]))
+
+    def test_check_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_shape("x", np.zeros((2, 3)), (3, 2))
+        check_shape("x", np.zeros((2, 3)), (2, 3))
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first

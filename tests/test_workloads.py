@@ -1,0 +1,152 @@
+"""Tests for the workload substrate."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    WikipediaLikeWorkload,
+    WorldCupLikeWorkload,
+    constant_workload,
+    diurnal_profile,
+    load_hourly_csv,
+    ramp_workload,
+    random_walk_workload,
+    replicate_across_clouds,
+    spike_train,
+)
+
+
+class TestSyntheticShapes:
+    def test_diurnal_peaks_at_peak_hour(self):
+        prof = diurnal_profile(48, base=1.0, amplitude=0.5, peak_hour=14)
+        assert np.argmax(prof[:24]) == 14
+        assert prof.min() >= 0
+
+    def test_diurnal_amplitude_clipped(self):
+        prof = diurnal_profile(24, base=1.0, amplitude=5.0)
+        assert prof.min() >= 0
+
+    def test_constant(self):
+        np.testing.assert_array_equal(constant_workload(5, 2.0), np.full(5, 2.0))
+        with pytest.raises(ValueError):
+            constant_workload(5, -1.0)
+
+    def test_ramp(self):
+        r = ramp_workload(5, 0.0, 4.0)
+        np.testing.assert_allclose(r, [0, 1, 2, 3, 4])
+
+    def test_spike_train_adds_spikes(self):
+        lam = spike_train(100, base=1.0, n_spikes=5, spike_height=10.0, seed=0)
+        assert lam.max() > 5.0
+        assert (lam > 1.5).sum() <= 5 * 3  # spikes are narrow
+
+    def test_spike_train_deterministic_with_seed(self):
+        a = spike_train(50, 1.0, 3, 5.0, seed=7)
+        b = spike_train(50, 1.0, 3, 5.0, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_random_walk_stays_in_bounds(self):
+        w = random_walk_workload(200, 1.0, 0.5, lower=0.2, upper=3.0, seed=1)
+        assert w.min() >= 0.2 and w.max() <= 3.0
+
+
+class TestWikipediaLike:
+    def test_basic_properties(self):
+        trace = WikipediaLikeWorkload(horizon=500).generate()
+        assert trace.shape == (500,)
+        assert trace.max() == pytest.approx(1.0)
+        assert trace.min() > 0
+
+    def test_regular_dynamics(self):
+        """Low burstiness: peak-to-mean stays modest (Fig 4a regime)."""
+        trace = WikipediaLikeWorkload(horizon=500).generate()
+        assert trace.max() / trace.mean() < 2.5
+
+    def test_diurnal_autocorrelation(self):
+        """Lag-24 autocorrelation must be strong and positive."""
+        trace = WikipediaLikeWorkload(horizon=480).generate()
+        x = trace - trace.mean()
+        ac24 = (x[:-24] @ x[24:]) / (x @ x)
+        assert ac24 > 0.5
+
+    def test_long_rampdowns_exist(self):
+        """~40% of ramp-down phases exceed 10 slots (defeats FHC/RHC)."""
+        trace = WikipediaLikeWorkload(horizon=500, noise_std=0.0).generate()
+        falls = np.diff(trace) < 0
+        # Longest run of consecutive decreases:
+        runs, cur = [], 0
+        for f in falls:
+            cur = cur + 1 if f else 0
+            if cur:
+                runs.append(cur)
+        assert max(runs) >= 10
+
+    def test_seed_determinism_and_scaling(self):
+        a = WikipediaLikeWorkload(horizon=100, seed=5).generate()
+        b = WikipediaLikeWorkload(horizon=100, seed=5).generate()
+        np.testing.assert_array_equal(a, b)
+        c = WikipediaLikeWorkload(horizon=100, seed=5, peak=3.0).generate()
+        np.testing.assert_allclose(c, 3.0 * a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WikipediaLikeWorkload(horizon=0).generate()
+        with pytest.raises(ValueError):
+            WikipediaLikeWorkload(peak=0.0).generate()
+
+
+class TestWorldCupLike:
+    def test_bursty_regime(self):
+        """High peak-to-mean: flash crowds (Fig 4b regime)."""
+        trace = WorldCupLikeWorkload(horizon=600).generate()
+        assert trace.max() / trace.mean() > 3.0
+        assert trace.max() == pytest.approx(1.0)
+
+    def test_spikes_are_sharp(self):
+        """Demand multiplies within a couple of hours at spike onsets."""
+        trace = WorldCupLikeWorkload(horizon=600).generate()
+        ratio = trace[2:] / np.maximum(trace[:-2], 1e-9)
+        assert ratio.max() > 3.0
+
+    def test_deterministic(self):
+        a = WorldCupLikeWorkload(horizon=200, seed=9).generate()
+        b = WorldCupLikeWorkload(horizon=200, seed=9).generate()
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorldCupLikeWorkload(horizon=0).generate()
+        with pytest.raises(ValueError):
+            WorldCupLikeWorkload(spike_factor_range=(5.0, 2.0)).generate()
+
+
+class TestTraces:
+    def test_replicate_shape(self):
+        trace = np.arange(10.0)
+        mat = replicate_across_clouds(trace, 4)
+        assert mat.shape == (10, 4)
+        np.testing.assert_array_equal(mat[:, 0], mat[:, 3])
+
+    def test_phase_shift(self):
+        trace = np.arange(10.0)
+        mat = replicate_across_clouds(trace, 3, phase_shift_hours=2)
+        np.testing.assert_array_equal(mat[:, 1], np.roll(trace, 2))
+
+    def test_scale_jitter_deterministic(self):
+        trace = np.ones(5)
+        a = replicate_across_clouds(trace, 3, scale_jitter=0.2, seed=1)
+        b = replicate_across_clouds(trace, 3, scale_jitter=0.2, seed=1)
+        np.testing.assert_array_equal(a, b)
+        assert not np.allclose(a[:, 0], a[:, 1])
+
+    def test_load_hourly_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("hour,requests\n0,100\n1,150\n2,90\n")
+        trace = load_hourly_csv(path)
+        np.testing.assert_array_equal(trace, [100.0, 150.0, 90.0])
+
+    def test_load_csv_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("only,headers\n")
+        with pytest.raises(ValueError, match="no numeric rows"):
+            load_hourly_csv(path)

@@ -1,0 +1,85 @@
+"""Tests for the request-level arrival simulator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (
+    aggregate_hourly,
+    hourly_counts_from_profile,
+    simulate_arrivals,
+)
+
+
+class TestSimulateArrivals:
+    def test_counts_match_rate_in_expectation(self):
+        rate = np.full(200, 50.0)
+        times = simulate_arrivals(rate, seed=0)
+        counts = aggregate_hourly(times, horizon=200)
+        assert counts.mean() == pytest.approx(50.0, rel=0.05)
+        # Poisson variance ~ mean.
+        assert counts.var() == pytest.approx(50.0, rel=0.3)
+
+    def test_zero_rate_hours_empty(self):
+        rate = np.array([0.0, 100.0, 0.0])
+        counts = aggregate_hourly(simulate_arrivals(rate, seed=1), horizon=3)
+        assert counts[0] == 0 and counts[2] == 0
+        assert counts[1] > 50
+
+    def test_times_sorted_and_in_range(self):
+        rate = np.array([5.0, 5.0, 5.0])
+        times = simulate_arrivals(rate, seed=2)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0 and times.max() < 3.0
+
+    def test_deterministic_with_seed(self):
+        rate = np.full(10, 7.0)
+        np.testing.assert_array_equal(
+            simulate_arrivals(rate, seed=3), simulate_arrivals(rate, seed=3)
+        )
+
+    def test_event_cap(self):
+        with pytest.raises(ValueError, match="max_events"):
+            simulate_arrivals(np.array([100.0]), seed=0, max_events=10)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_arrivals(np.array([-1.0]))
+
+
+class TestAggregation:
+    def test_hand_example(self):
+        counts = aggregate_hourly(np.array([0.1, 0.9, 1.5, 2.0, 2.2]), horizon=3)
+        np.testing.assert_array_equal(counts, [2, 1, 2])
+
+    def test_truncates_beyond_horizon(self):
+        counts = aggregate_hourly(np.array([0.5, 5.5]), horizon=2)
+        np.testing.assert_array_equal(counts, [1, 0])
+
+    def test_empty(self):
+        counts = aggregate_hourly(np.array([]))
+        assert counts.shape == (1,)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_hourly(np.array([-0.5]))
+
+
+class TestEndToEnd:
+    def test_profile_roundtrip_noise_shrinks_with_rate(self):
+        """Sampling noise is relatively smaller at higher rates."""
+        lo = hourly_counts_from_profile(np.full(300, 20.0), seed=4)
+        hi = hourly_counts_from_profile(np.full(300, 2000.0), seed=4)
+        rel_lo = np.abs(lo - 20.0).mean() / 20.0
+        rel_hi = np.abs(hi - 2000.0).mean() / 2000.0
+        assert rel_hi < rel_lo
+
+    def test_usable_as_workload(self):
+        """Counts plug directly into the paper topology builder."""
+        from repro.model import necessary_conditions
+        from repro.topology import build_paper_instance
+        from repro.workloads import WikipediaLikeWorkload
+
+        profile = WikipediaLikeWorkload(horizon=24, peak=500.0).generate()
+        counts = hourly_counts_from_profile(profile, seed=5)
+        inst = build_paper_instance(counts, k=1, n_tier2=4, n_tier1=6)
+        assert necessary_conditions(inst).ok
