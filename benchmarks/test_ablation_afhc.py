@@ -10,7 +10,7 @@ short windows it trails RFHC/RRHC.
 
 import pytest
 
-from repro.core import OnlineConfig
+from repro.core import SubproblemConfig
 from repro.evaluation import ExperimentScale, format_table
 from repro.evaluation.experiments import make_instance
 from repro.model import evaluate_cost
@@ -46,7 +46,7 @@ def run_comparison():
                 cost(AveragingFixedHorizonControl(WINDOW, predictor=pred())),
                 cost(
                     RegularizedFixedHorizonControl(
-                        WINDOW, OnlineConfig(epsilon=1e-3), predictor=pred()
+                        WINDOW, SubproblemConfig(epsilon=1e-3), predictor=pred()
                     )
                 ),
             )

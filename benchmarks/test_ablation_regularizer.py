@@ -12,7 +12,7 @@ This bench quantifies their cost/runtime impact on a full online run.
 
 import pytest
 
-from repro.core import OnlineConfig, RegularizedOnline
+from repro.core import SubproblemConfig, RegularizedOnline
 from repro.evaluation import ExperimentScale
 from repro.evaluation.experiments import make_instance
 from repro.model import check_trajectory, evaluate_cost
@@ -28,7 +28,7 @@ def instance():
 
 
 def _run(inst, hedging, caps):
-    cfg = OnlineConfig(epsilon=1e-2, hedging=hedging, capacity_caps=caps)
+    cfg = SubproblemConfig(epsilon=1e-2, hedging=hedging, capacity_caps=caps)
     traj = RegularizedOnline(cfg).run(inst)
     assert check_trajectory(inst, traj).ok
     return evaluate_cost(inst, traj).total

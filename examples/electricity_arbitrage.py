@@ -19,7 +19,7 @@ from repro import (
     Cloud,
     CloudNetwork,
     Instance,
-    OnlineConfig,
+    SubproblemConfig,
     RegularizedOnline,
     SLAEdge,
     Trajectory,
@@ -72,7 +72,7 @@ def main() -> None:
         net = inst.network
         off = solve_offline(inst)
         chaser = price_chaser(inst)
-        online = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+        online = RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(inst)
         rows.append(
             (
                 f"{weight:g}",

@@ -15,7 +15,7 @@ Run:  python examples/flash_crowd_prediction.py
 from repro import (
     GaussianNoisePredictor,
     FixedHorizonControl,
-    OnlineConfig,
+    SubproblemConfig,
     PaperTopologyBuilder,
     RecedingHorizonControl,
     RegularizedFixedHorizonControl,
@@ -41,10 +41,10 @@ def controller_suite(error: float, seed: int = 11):
         "FHC": FixedHorizonControl(WINDOW, predictor=predictor()),
         "RHC": RecedingHorizonControl(WINDOW, predictor=predictor()),
         "RFHC": RegularizedFixedHorizonControl(
-            WINDOW, OnlineConfig(epsilon=EPSILON), predictor=predictor()
+            WINDOW, SubproblemConfig(epsilon=EPSILON), predictor=predictor()
         ),
         "RRHC": RegularizedRecedingHorizonControl(
-            WINDOW, OnlineConfig(epsilon=EPSILON), predictor=predictor()
+            WINDOW, SubproblemConfig(epsilon=EPSILON), predictor=predictor()
         ),
     }
 
@@ -57,7 +57,7 @@ def main() -> None:
 
     offline = solve_offline(instance).objective
     online = evaluate_cost(
-        instance, RegularizedOnline(OnlineConfig(epsilon=EPSILON)).run(instance)
+        instance, RegularizedOnline(SubproblemConfig(epsilon=EPSILON)).run(instance)
     ).total
 
     rows = []

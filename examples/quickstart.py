@@ -18,7 +18,7 @@ from repro import (
     CloudNetwork,
     GreedyOneShot,
     Instance,
-    OnlineConfig,
+    SubproblemConfig,
     RegularizedOnline,
     SLAEdge,
     check_trajectory,
@@ -55,7 +55,7 @@ instance = Instance(network, workload, tier2_price, link_price)
 # ---------------------------------------------------------------------------
 # 3. Run the three controllers.
 # ---------------------------------------------------------------------------
-online = RegularizedOnline(OnlineConfig(epsilon=1e-2))
+online = RegularizedOnline(SubproblemConfig(epsilon=1e-2))
 trajectory = online.run(instance)
 assert check_trajectory(instance, trajectory).ok
 

@@ -15,7 +15,7 @@ import argparse
 
 from repro import (
     GreedyOneShot,
-    OnlineConfig,
+    SubproblemConfig,
     PaperTopologyBuilder,
     RegularizedOnline,
     WikipediaLikeWorkload,
@@ -48,7 +48,7 @@ def main() -> None:
         )
         instance = builder.build(trace)
 
-        online = RegularizedOnline(OnlineConfig(epsilon=args.epsilon)).run(instance)
+        online = RegularizedOnline(SubproblemConfig(epsilon=args.epsilon)).run(instance)
         greedy = GreedyOneShot().run(instance)
         offline = solve_offline(instance)
 

@@ -14,16 +14,20 @@ regularization-based online resource-allocation system:
 * :mod:`repro.workloads`, :mod:`repro.pricing`, :mod:`repro.topology`
   — the evaluation inputs (Section V);
 * :mod:`repro.ntier` — the N-tier generalization (Section III-E);
+* :mod:`repro.engine` — the shared solve engine every algorithm runs
+  on (streaming per-slot API, warm-start reuse, per-step solver
+  statistics);
 * :mod:`repro.evaluation` — the per-figure experiment registry;
 * :mod:`repro.solvers` — the LP and convex-program substrate.
 
 Quickstart
 ----------
 >>> from repro import (build_paper_instance, WikipediaLikeWorkload,
-...                    RegularizedOnline, OnlineConfig)
+...                    RegularizedOnline, SubproblemConfig)
 >>> trace = WikipediaLikeWorkload(horizon=48).generate()
 >>> instance = build_paper_instance(trace, k=2, n_tier2=4, n_tier1=6)
->>> trajectory = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(instance)
+>>> trajectory = RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(instance)
+>>> trajectory.run_stats.describe()  # per-step solver statistics
 """
 
 from repro.model import (
@@ -38,7 +42,6 @@ from repro.model import (
     evaluate_cost,
 )
 from repro.core import (
-    OnlineConfig,
     RegularizedOnline,
     SingleResourceProblem,
     empirical_ratio,
@@ -61,8 +64,19 @@ from repro.prediction import (
 from repro.workloads import WikipediaLikeWorkload, WorldCupLikeWorkload
 from repro.topology import PaperTopologyBuilder, build_paper_instance
 from repro.evaluation import ExperimentScale, run_suite
+from repro.engine import SlotData, SolveSession, SubproblemConfig
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Deprecated alias of SubproblemConfig; kept importable for one
+    # release (the warning fires lazily, on first use).
+    if name == "OnlineConfig":
+        from repro.core import online
+
+        return online.OnlineConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Cloud",
@@ -76,6 +90,9 @@ __all__ = [
     "check_trajectory",
     "RegularizedOnline",
     "OnlineConfig",
+    "SubproblemConfig",
+    "SlotData",
+    "SolveSession",
     "SingleResourceProblem",
     "single_online_decay",
     "single_greedy",

@@ -28,16 +28,36 @@ minimal-cost projection LP when it happens.
 The prefix problems grow linearly with ``t``; a ``lookback`` window
 bounds their size for long horizons (exact LCP-M uses the full
 prefix).
+
+Engine shape: a :class:`~repro.engine.session.Controller` whose state
+accumulates the applied history (the envelopes need the prefix) and
+repairs the clamped decision against the streamed realized slot data.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
+from repro.engine.session import SlotData, SolveSession
+from repro.engine.stats import StatsProbe
 from repro.model.allocation import Allocation, Trajectory
 from repro.model.feasibility import check_trajectory
 from repro.model.instance import Instance
 from repro.offline.optimal import solve_offline
+
+
+@dataclass
+class LCPState:
+    """Carried state: tie-broken instance plus the applied history."""
+
+    instance: Instance
+    stable: Instance
+    initial: Allocation
+    prev: Allocation
+    steps: "list[Allocation]" = field(default_factory=list)
+    probe: StatsProbe = field(default_factory=StatsProbe)
 
 
 class LCPM:
@@ -72,40 +92,56 @@ class LCPM:
         bump = 1e-7 * scale * (1.0 + np.arange(net.n_edges))
         return instance.with_data(link_price=instance.link_price + bump[None, :])
 
+    # ------------------------------------------------------------------
+    # Controller protocol
+    # ------------------------------------------------------------------
+    def make_state(
+        self, instance: Instance, initial: "Allocation | None" = None
+    ) -> LCPState:
+        """Build the carried state (needs the instance for tie-breaking)."""
+        prev = initial or Allocation.zeros(instance.network.n_edges)
+        return LCPState(
+            instance=instance,
+            stable=self._tie_broken(instance),
+            initial=prev.copy(),
+            prev=prev,
+        )
+
+    def decide(self, state: LCPState, t: int, slot: SlotData) -> Allocation:
+        """Lazy-clamp the slot-``t`` envelopes and repair if needed."""
+        start = self._prefix_window(t)
+        prefix = state.stable.slice(start, t + 1)
+        # Lower envelope: normal prefix problem.
+        start_state = state.initial if start == 0 else state.steps[start - 1]
+        low = solve_offline(prefix, initial=start_state).trajectory.step(t - start)
+        # Upper envelope: reconfiguration charged on decreases.
+        up = solve_offline(
+            prefix, initial=start_state, charge_decrease=True
+        ).trajectory.step(t - start)
+        state.probe.record_solve(backend="lp")
+        state.probe.record_solve(backend="lp")
+        prev = state.prev
+        cur = Allocation(
+            x=_lazy(prev.x, low.x, up.x),
+            y=_lazy(prev.y, low.y, up.y),
+            s=_lazy(prev.s, low.s, up.s),
+        )
+        cur = self._repair(slot.as_instance(state.instance.network), cur, prev)
+        state.steps.append(cur)
+        state.prev = cur
+        return cur
+
     def run(
         self,
         instance: Instance,
         initial: "Allocation | None" = None,
     ) -> Trajectory:
-        """Run LCP-M over the whole horizon."""
-        net = instance.network
-        stable = self._tie_broken(instance)
-        prev = initial or Allocation.zeros(net.n_edges)
-        applied_initial = prev.copy()
-        steps: list[Allocation] = []
-        for t in range(instance.horizon):
-            start = self._prefix_window(t)
-            prefix = stable.slice(start, t + 1)
-            # Lower envelope: normal prefix problem.
-            start_state = applied_initial if start == 0 else steps[start - 1]
-            low = solve_offline(prefix, initial=start_state).trajectory.step(t - start)
-            # Upper envelope: reconfiguration charged on decreases.
-            up = solve_offline(
-                prefix, initial=start_state, charge_decrease=True
-            ).trajectory.step(t - start)
-            cur = Allocation(
-                x=_lazy(prev.x, low.x, up.x),
-                y=_lazy(prev.y, low.y, up.y),
-                s=_lazy(prev.s, low.s, up.s),
-            )
-            cur = self._repair(instance, t, cur, prev)
-            steps.append(cur)
-            prev = cur
-        return Trajectory.from_steps(steps)
+        """Run LCP-M over the whole horizon (engine-driven)."""
+        return SolveSession(self, instance, initial=initial).run()
 
     # ------------------------------------------------------------------
     def _repair(
-        self, instance: Instance, t: int, cand: Allocation, prev: Allocation
+        self, slot_instance: Instance, cand: Allocation, prev: Allocation
     ) -> Allocation:
         """Project a clamped decision back into slot-``t`` feasibility.
 
@@ -115,12 +151,13 @@ class LCPM:
         minimizing the slot's allocation + reconfiguration cost subject
         to slot feasibility and ``s >= s_low`` — i.e. the cheapest
         feasible decision at least as protective as the lazy one.
+        ``slot_instance`` is the realized one-slot instance.
         """
-        net = instance.network
+        net = slot_instance.network
         one_slot = Trajectory(
             cand.x[None, :], cand.y[None, :], cand.s[None, :]
         )
-        report = check_trajectory(instance.slice(t, t + 1), one_slot)
+        report = check_trajectory(slot_instance, one_slot)
         if report.ok:
             return cand
         # Cheapest feasible slot decision with s kept at the clamped level
@@ -130,13 +167,11 @@ class LCPM:
             np.zeros((1, net.n_edges)), s_floor[None, :], s_floor[None, :]
         )
         try:
-            res = solve_offline(
-                instance.slice(t, t + 1), initial=prev, lower=lower
-            )
+            res = solve_offline(slot_instance, initial=prev, lower=lower)
             return res.trajectory.step(0)
         except Exception:
             # Final fallback: drop the floor entirely.
-            res = solve_offline(instance.slice(t, t + 1), initial=prev)
+            res = solve_offline(slot_instance, initial=prev)
             return res.trajectory.step(0)
 
 

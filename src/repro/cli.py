@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the experiment's series as terminal charts",
     )
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-step solver statistics (wall time, Newton "
+        "iterations, warm-start hit rate) for each algorithm run",
+    )
     return parser
 
 
@@ -94,10 +100,24 @@ def main(argv: "list[str] | None" = None) -> int:
     else:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
+    want_stats = getattr(args, "stats", False)
+    if want_stats:
+        from repro.evaluation.runner import stats_collector
+
+        stats_collector.enable()
     for name in names:
         start = time.perf_counter()
         result = registry[name](args)
         print(result.render())
+        if want_stats:
+            from repro.evaluation.reporting import render_run_stats
+            from repro.evaluation.runner import stats_collector
+
+            records = stats_collector.clear()
+            if records:
+                print()
+                print(f"-- engine stats: {name} --")
+                print(render_run_stats(records))
         if getattr(args, "plot", False) and result.series:
             from repro.evaluation.ascii_chart import line_chart
 

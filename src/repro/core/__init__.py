@@ -12,7 +12,7 @@
 """
 
 from repro.core.subproblem import RegularizedSubproblem, SubproblemConfig
-from repro.core.online import RegularizedOnline, OnlineConfig
+from repro.core.online import RegularizedOnline
 from repro.core.single import (
     SingleResourceProblem,
     single_greedy,
@@ -46,3 +46,14 @@ __all__ = [
     "theorem1_ratio_normalized",
     "empirical_ratio",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept for one release; the documented config type
+    # is SubproblemConfig (see repro.engine).  Resolved lazily so the
+    # DeprecationWarning fires at use, not at package import.
+    if name == "OnlineConfig":
+        from repro.core import online
+
+        return online.OnlineConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,16 +10,61 @@ Behaviour in one sentence: when the workload rises the algorithm
 follows it exactly, and when the workload falls it releases resources
 along a controlled exponential-decay curve so that a future rise does
 not pay full reconfiguration cost again.
+
+The algorithm is a :class:`~repro.engine.session.Controller`: the
+per-slot loop, warm-start threading and statistics live in the shared
+:class:`~repro.engine.session.SolveSession` engine.  Because it needs
+no foresight, its state builds from a bare network and it can be
+driven slot-at-a-time from live data::
+
+    session = SolveSession(RegularizedOnline(config), network)
+    decision = session.step(SlotData(workload, tier2_price, link_price))
+
+The documented config type is
+:class:`~repro.core.subproblem.SubproblemConfig` (re-exported by
+:mod:`repro.engine`); ``OnlineConfig`` remains as a deprecated alias
+for one release.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
 from repro.core.subproblem import RegularizedSubproblem, SubproblemConfig
+from repro.engine.session import SlotData, SolveSession, source_network
+from repro.engine.stats import StatsProbe
 from repro.model.allocation import Allocation, Trajectory
 from repro.model.instance import Instance
 
-# Re-export under the algorithm-facing name.
-OnlineConfig = SubproblemConfig
+
+def __getattr__(name: str):
+    if name == "OnlineConfig":
+        warnings.warn(
+            "OnlineConfig is a deprecated alias of SubproblemConfig; "
+            "import SubproblemConfig from repro.engine (or "
+            "repro.core.subproblem) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SubproblemConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+@dataclass
+class OnlineState:
+    """Carried state of the prediction-free controller.
+
+    ``prev`` anchors the next slot's regularizers; ``warm`` is the
+    previous reduced solution vector (seeds the barrier path).
+    """
+
+    subproblem: RegularizedSubproblem
+    prev: Allocation
+    warm: "np.ndarray | None" = None
+    probe: StatsProbe = field(default_factory=StatsProbe)
 
 
 class RegularizedOnline:
@@ -34,15 +79,41 @@ class RegularizedOnline:
 
     Example
     -------
-    ``RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(instance)``
+    ``RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(instance)``
     returns a feasible :class:`~repro.model.allocation.Trajectory`.
     """
 
     name = "regularized-online"
 
-    def __init__(self, config: "OnlineConfig | None" = None) -> None:
-        self.config = config or OnlineConfig()
+    def __init__(self, config: "SubproblemConfig | None" = None) -> None:
+        self.config = config or SubproblemConfig()
 
+    # ------------------------------------------------------------------
+    # Controller protocol
+    # ------------------------------------------------------------------
+    def make_state(self, source, initial: "Allocation | None" = None) -> OnlineState:
+        """Build the carried state from an instance or bare network."""
+        net = source_network(source)
+        return OnlineState(
+            subproblem=RegularizedSubproblem(net, self.config),
+            prev=initial or Allocation.zeros(net.n_edges),
+        )
+
+    def decide(self, state: OnlineState, t: int, slot: SlotData) -> Allocation:
+        """Solve P2(t) for the streamed slot and advance the state."""
+        alloc, state.warm = state.subproblem.solve_reduced(
+            workload=slot.workload,
+            tier2_price=slot.tier2_price,
+            link_price=slot.link_price,
+            previous=state.prev,
+            warm=state.warm,
+            probe=state.probe,
+        )
+        state.prev = alloc
+        return alloc
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
     # ------------------------------------------------------------------
     def step(
         self,
@@ -53,8 +124,8 @@ class RegularizedOnline:
     ) -> Allocation:
         """Solve P2(t) for slot ``t`` of ``instance`` given the previous decision.
 
-        One-slot convenience API; the run loop and the RFHC/RRHC chain
-        use the warm-started ``solve_reduced`` path directly.
+        One-slot convenience API; the engine-driven loop uses the
+        warm-started ``solve_reduced`` path through :meth:`decide`.
         """
         return subproblem.solve(
             workload=instance.workload[t],
@@ -74,6 +145,11 @@ class RegularizedOnline:
     ) -> Trajectory:
         """Run the online loop over the whole horizon.
 
+        Thin wrapper over the engine: builds a
+        :class:`~repro.engine.session.SolveSession` and feeds each
+        slot through its streaming ``step``.  The returned trajectory
+        carries per-step solver statistics as ``run_stats``.
+
         Parameters
         ----------
         instance:
@@ -83,17 +159,4 @@ class RegularizedOnline:
             Decision at slot ``-1``; defaults to all-zero as in the
             paper (``x_0 = y_0 = 0``).
         """
-        sub = self.make_subproblem(instance)
-        prev = initial or Allocation.zeros(instance.network.n_edges)
-        steps: list[Allocation] = []
-        warm = None
-        for t in range(instance.horizon):
-            prev, warm = sub.solve_reduced(
-                workload=instance.workload[t],
-                tier2_price=instance.tier2_price[t],
-                link_price=instance.link_price[t],
-                previous=prev,
-                warm=warm,
-            )
-            steps.append(prev)
-        return Trajectory.from_steps(steps)
+        return SolveSession(self, instance, initial=initial).run()

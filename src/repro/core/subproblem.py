@@ -293,9 +293,12 @@ class RegularizedSubproblem:
         link_price: np.ndarray,
         previous: Allocation,
         warm: "np.ndarray | None" = None,
+        probe=None,
     ) -> Allocation:
         """Solve P2(t) and return the slot's decision in edge space."""
-        alloc, _ = self.solve_reduced(workload, tier2_price, link_price, previous, warm)
+        alloc, _ = self.solve_reduced(
+            workload, tier2_price, link_price, previous, warm, probe=probe
+        )
         return alloc
 
     def solve_reduced(
@@ -305,6 +308,7 @@ class RegularizedSubproblem:
         link_price: np.ndarray,
         previous: Allocation,
         warm: "np.ndarray | None" = None,
+        probe=None,
     ) -> "tuple[Allocation, np.ndarray]":
         """Solve P2(t); also return the reduced solution vector.
 
@@ -313,12 +317,19 @@ class RegularizedSubproblem:
         a strictly interior near-optimal start and the barrier path can
         begin at a larger ``tau`` (~25 % fewer Newton steps, measured;
         results identical to solver tolerance).
+
+        ``probe`` is an optional
+        :class:`~repro.engine.stats.StatsProbe`-shaped recorder (any
+        object with ``record_solve``); when given, the solve's backend,
+        Newton iteration count and warm-start outcome are recorded.
         """
         prog = self.build(workload, tier2_price, link_price, previous)
         cand = self._interior_candidate(prog, workload)
         v0 = cand
         options = self.config.solver
-        if warm is not None and cand is not None:
+        warm_attempted = warm is not None and cand is not None
+        warm_used = False
+        if warm_attempted:
             blend = 0.9 * warm + 0.1 * cand
             if prog.A.shape[0]:
                 slack = prog.b - prog.A @ blend
@@ -331,9 +342,19 @@ class RegularizedSubproblem:
                 and np.all(prog.ub - blend > 0)
             ):
                 v0 = blend
+                warm_used = True
                 if options.backend == "barrier":
                     options = replace(options, barrier_t0=max(options.barrier_t0, 1e3))
         v = prog.solve(v0=v0, options=options)
+        if probe is not None:
+            info = prog.last_info
+            probe.record_solve(
+                backend=info.backend,
+                newton_iters=info.newton_iters,
+                warm_attempted=warm_attempted,
+                warm_used=warm_used,
+                fallback=info.fallback,
+            )
         return self.split(v, workload), v
 
     def split(self, v: np.ndarray, workload: np.ndarray) -> Allocation:
@@ -353,9 +374,12 @@ class RegularizedSubproblem:
         S_i = net.aggregate_tier2(s)
         slack = np.maximum(X - S_i, 0.0)  # per-cloud spare allocation
         # Shares: proportional to s when the cloud serves anything,
-        # otherwise uniform over the cloud's edges.
+        # otherwise uniform over the cloud's edges.  A cloud with no
+        # SLA edges has counts == 0 and S_i == 0; clamp the denominator
+        # so it never divides by zero (such a cloud's slack has no edge
+        # to land on and is simply dropped).
         counts = net.aggregate_tier2(np.ones(net.n_edges))
-        denom = np.where(S_i > 0, S_i, counts)
+        denom = np.maximum(np.where(S_i > 0, S_i, counts), 1e-300)
         base = np.where(S_i[net.edge_i] > 0, s, 1.0)
         share = base / denom[net.edge_i]
         x = s + slack[net.edge_i] * share

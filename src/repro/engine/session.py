@@ -1,0 +1,209 @@
+"""The shared per-slot solve engine.
+
+Every algorithm stack in this library — the prediction-free
+regularized online algorithm, the five predictive controllers, the
+N-tier online loop and the LCP-M baseline — makes one decision per
+time slot from (a) per-slot input data and (b) carried state (the
+previous decision, warm-start vectors, reusable subproblem structure,
+pending block plans).  This module owns that lifecycle so it is
+implemented exactly once:
+
+* :class:`SlotData` — one slot's inputs (workload + prices), the unit
+  of the streaming API;
+* :class:`Controller` — the protocol an algorithm implements:
+  ``make_state(source)`` builds the carried state,
+  ``decide(state, t, slot)`` makes one slot's decision;
+* :class:`SolveSession` — the driver: feeds slots to the controller,
+  times every step, drains the state's :class:`~repro.engine.stats.StatsProbe`
+  into per-step :class:`~repro.engine.stats.StepStats`, and assembles
+  the trajectory (with ``run_stats`` attached).
+
+Streaming
+---------
+``session.step(SlotData(...))`` accepts slot data one slot at a time,
+so a deployment can drive the engine from live measurements without a
+full :class:`~repro.model.instance.Instance` ever existing::
+
+    session = SolveSession(RegularizedOnline(config), network)
+    for slot in telemetry_feed():
+        decision = session.step(SlotData(slot.demand, slot.energy, slot.bw))
+
+``session.run(instance)`` is a thin wrapper that feeds the instance's
+slots into :meth:`SolveSession.step` — both paths produce bitwise
+identical trajectories (test-asserted).  Prediction-free controllers
+accept a bare network as ``source``; predictive controllers (which
+query forecast oracles) and LCP-M (which tie-breaks prices over the
+horizon) need the instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.engine.stats import RunStats, StatsProbe, StepStats
+from repro.model.allocation import Trajectory
+from repro.model.instance import Instance
+from repro.util.timing import Timer
+
+
+class SlotData:
+    """One slot's inputs: workload and allocation prices.
+
+    ``tier2_price`` carries the per-upper-node prices (``a_{it}`` in
+    the two-tier model; the flattened node prices in the N-tier model)
+    and ``link_price`` the per-edge/link prices ``c_{et}``.
+    """
+
+    __slots__ = ("workload", "tier2_price", "link_price")
+
+    def __init__(
+        self,
+        workload: np.ndarray,
+        tier2_price: np.ndarray,
+        link_price: np.ndarray,
+    ) -> None:
+        self.workload = np.asarray(workload, dtype=float)
+        self.tier2_price = np.asarray(tier2_price, dtype=float)
+        self.link_price = np.asarray(link_price, dtype=float)
+
+    @classmethod
+    def from_instance(cls, instance: Any, t: int) -> "SlotData":
+        """Extract slot ``t`` of a two-tier or N-tier instance."""
+        upper = getattr(instance, "tier2_price", None)
+        if upper is None:
+            upper = instance.node_price
+        return cls(instance.workload[t], upper[t], instance.link_price[t])
+
+    def as_instance(self, network) -> Instance:
+        """This slot as a one-slot two-tier :class:`Instance`.
+
+        Used by controllers that repair planned decisions against the
+        realized slot data (``topup_repair`` operates on instances).
+        """
+        return Instance(
+            network=network,
+            workload=self.workload[None, :],
+            tier2_price=self.tier2_price[None, :],
+            link_price=self.link_price[None, :],
+        )
+
+    def __repr__(self) -> str:
+        return f"SlotData(J={self.workload.shape[0]})"
+
+
+@runtime_checkable
+class Controller(Protocol):
+    """The per-slot decision protocol every algorithm implements.
+
+    ``make_state(source, initial=None)`` builds the carried state from
+    an instance (or, for prediction-free controllers, a bare network).
+    The state owns everything reused across slots: subproblem
+    structure, the previously applied decision, warm-start vectors,
+    pending block plans, and a ``probe`` attribute
+    (:class:`~repro.engine.stats.StatsProbe`) that inner solves record
+    into.
+
+    ``decide(state, t, slot)`` makes the slot-``t`` decision and
+    advances the state.  The return value is an
+    :class:`~repro.model.allocation.Allocation` for two-tier
+    controllers; N-tier controllers return their own step type and
+    provide ``assemble`` to stack steps into a trajectory.
+    """
+
+    name: str
+
+    def make_state(self, source: Any, initial: Any = None) -> Any: ...
+
+    def decide(self, state: Any, t: int, slot: SlotData) -> Any: ...
+
+
+class SolveSession:
+    """Drives a :class:`Controller` over a stream of slots.
+
+    Parameters
+    ----------
+    controller:
+        The algorithm to drive.
+    source:
+        What the controller's state is built from: an instance, or a
+        bare network for prediction-free controllers.
+    initial:
+        The decision at slot ``-1`` (controller-specific default,
+        usually all-zero).
+
+    Example
+    -------
+    >>> session = SolveSession(algo, instance)
+    >>> traj = session.run(instance)          # batch
+    >>> traj.run_stats.describe()             # per-step solver stats
+    """
+
+    def __init__(self, controller: Controller, source: Any, initial: Any = None) -> None:
+        self.controller = controller
+        self.source = source
+        self.state = controller.make_state(source, initial=initial)
+        self.t = 0
+        self._steps: list = []
+        self._step_stats: "list[StepStats]" = []
+
+    # ------------------------------------------------------------------
+    def step(self, slot: SlotData) -> Any:
+        """Decide one slot from streamed data and advance the session."""
+        probe: "StatsProbe | None" = getattr(self.state, "probe", None)
+        with Timer() as timer:
+            decision = self.controller.decide(self.state, self.t, slot)
+        records = probe.drain() if probe is not None else []
+        self._step_stats.append(
+            StepStats.from_records(self.t, timer.elapsed, records)
+        )
+        self._steps.append(decision)
+        self.t += 1
+        return decision
+
+    def run(self, instance: Any = None) -> Any:
+        """Feed every slot of ``instance`` through :meth:`step`.
+
+        With no argument, the session's ``source`` must be the
+        instance.  Returns the assembled trajectory with ``run_stats``
+        attached.
+        """
+        instance = self.source if instance is None else instance
+        horizon = getattr(instance, "horizon", None)
+        if horizon is None:
+            raise ValueError(
+                "run() needs an instance (got a bare network); "
+                "feed slots through step() instead"
+            )
+        for t in range(self.t, horizon):
+            self.step(SlotData.from_instance(instance, t))
+        return self.trajectory()
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> RunStats:
+        """Per-step statistics for the steps taken so far."""
+        return RunStats(list(self._step_stats))
+
+    def trajectory(self) -> Any:
+        """Assemble the steps taken so far into a trajectory.
+
+        Uses the controller's ``assemble`` hook when it has one
+        (N-tier), otherwise stacks the allocations into a two-tier
+        :class:`~repro.model.allocation.Trajectory`.  The returned
+        object carries the session's :class:`RunStats` as
+        ``run_stats``.
+        """
+        assemble = getattr(self.controller, "assemble", None)
+        if assemble is not None:
+            traj = assemble(self._steps)
+        else:
+            traj = Trajectory.from_steps(self._steps)
+        traj.run_stats = self.stats
+        return traj
+
+
+def source_network(source: Any):
+    """The network of an instance-or-network ``source`` argument."""
+    return getattr(source, "network", source)

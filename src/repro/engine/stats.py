@@ -1,0 +1,182 @@
+"""Per-step solver statistics collected by the solve engine.
+
+Every controller driven through a
+:class:`~repro.engine.session.SolveSession` carries a
+:class:`StatsProbe` in its state; the subproblem/LP layers record one
+:class:`SolveRecord` per optimization solve into it, and the session
+drains the probe after each ``decide`` into a :class:`StepStats`.  The
+accumulated :class:`RunStats` is attached to the finished trajectory
+(``trajectory.run_stats``) and surfaced by the evaluation runner and
+the ``--stats`` CLI flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SolveRecord:
+    """One optimization solve performed while deciding a slot.
+
+    Attributes
+    ----------
+    backend:
+        Solver backend that produced the result (``"barrier"``,
+        ``"trust-constr"``, ``"lp"``).
+    newton_iters:
+        Newton / trust-region iterations spent (0 for LP solves).
+    warm_attempted:
+        A warm-start candidate was available for this solve.
+    warm_used:
+        The warm-start candidate passed the interiority check and
+        seeded the solver.
+    fallback:
+        The requested backend failed and a fallback produced the
+        result.
+    """
+
+    backend: str = ""
+    newton_iters: int = 0
+    warm_attempted: bool = False
+    warm_used: bool = False
+    fallback: bool = False
+
+
+class StatsProbe:
+    """Mutable accumulator the solver layers record into.
+
+    The probe is deliberately dumb: ``record_solve`` appends, ``drain``
+    returns everything recorded since the last drain and clears.  It is
+    owned by a controller state and drained once per engine step, so
+    nested solves (e.g. the regularized chain extending inside an RFHC
+    block) attribute their work to the step that triggered them.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[SolveRecord] = []
+
+    def record_solve(
+        self,
+        backend: str = "",
+        newton_iters: int = 0,
+        warm_attempted: bool = False,
+        warm_used: bool = False,
+        fallback: bool = False,
+    ) -> None:
+        """Record one completed optimization solve."""
+        self._records.append(
+            SolveRecord(
+                backend=backend,
+                newton_iters=int(newton_iters),
+                warm_attempted=bool(warm_attempted),
+                warm_used=bool(warm_used),
+                fallback=bool(fallback),
+            )
+        )
+
+    def drain(self) -> "list[SolveRecord]":
+        """Return the records since the last drain and clear the probe."""
+        records, self._records = self._records, []
+        return records
+
+
+@dataclass
+class StepStats:
+    """Aggregated solver work for one engine step (one time slot)."""
+
+    t: int
+    wall_time: float
+    n_solves: int = 0
+    newton_iters: int = 0
+    warm_attempts: int = 0
+    warm_hits: int = 0
+    fallbacks: int = 0
+    backends: "tuple[str, ...]" = ()
+
+    @classmethod
+    def from_records(
+        cls, t: int, wall_time: float, records: "list[SolveRecord]"
+    ) -> "StepStats":
+        """Fold the step's solve records into one summary."""
+        backends = tuple(sorted({r.backend for r in records if r.backend}))
+        return cls(
+            t=t,
+            wall_time=wall_time,
+            n_solves=len(records),
+            newton_iters=sum(r.newton_iters for r in records),
+            warm_attempts=sum(1 for r in records if r.warm_attempted),
+            warm_hits=sum(1 for r in records if r.warm_used),
+            fallbacks=sum(1 for r in records if r.fallback),
+            backends=backends,
+        )
+
+
+@dataclass
+class RunStats:
+    """Per-step statistics accumulated over a whole run.
+
+    Attached to trajectories produced by
+    :class:`~repro.engine.session.SolveSession` as ``run_stats``.
+    """
+
+    steps: "list[StepStats]" = field(default_factory=list)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_time(self) -> float:
+        """Total wall-clock seconds spent inside ``decide`` calls."""
+        return sum(s.wall_time for s in self.steps)
+
+    @property
+    def mean_step_time(self) -> float:
+        return self.total_time / len(self.steps) if self.steps else 0.0
+
+    @property
+    def max_step_time(self) -> float:
+        return max((s.wall_time for s in self.steps), default=0.0)
+
+    @property
+    def total_solves(self) -> int:
+        return sum(s.n_solves for s in self.steps)
+
+    @property
+    def total_newton_iters(self) -> int:
+        return sum(s.newton_iters for s in self.steps)
+
+    @property
+    def warm_attempts(self) -> int:
+        return sum(s.warm_attempts for s in self.steps)
+
+    @property
+    def warm_hits(self) -> int:
+        return sum(s.warm_hits for s in self.steps)
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Fraction of warm-start attempts that seeded the solver."""
+        attempts = self.warm_attempts
+        return self.warm_hits / attempts if attempts else 0.0
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(s.fallbacks for s in self.steps)
+
+    @property
+    def backends(self) -> "tuple[str, ...]":
+        return tuple(sorted({b for s in self.steps for b in s.backends}))
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.n_steps} steps, "
+            f"mean {self.mean_step_time * 1e3:.2f} ms / "
+            f"max {self.max_step_time * 1e3:.2f} ms per step, "
+            f"{self.total_newton_iters} Newton iters, "
+            f"warm-start hit rate {self.warm_hit_rate:.0%} "
+            f"({self.warm_hits}/{self.warm_attempts}), "
+            f"backends: {', '.join(self.backends) or 'n/a'}"
+        )

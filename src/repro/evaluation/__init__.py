@@ -9,13 +9,22 @@ sizes are laptop-scale; set ``REPRO_FULL_SCALE=1`` for paper scale
 """
 
 from repro.evaluation.scale import ExperimentScale
-from repro.evaluation.runner import RunResult, run_algorithm, run_suite
+from repro.evaluation.runner import (
+    RunResult,
+    run_algorithm,
+    run_suite,
+    stats_collector,
+)
 from repro.evaluation.metrics import (
     cost_over_time,
     normalized_costs,
     summarize_costs,
 )
-from repro.evaluation.reporting import ExperimentResult, format_table
+from repro.evaluation.reporting import (
+    ExperimentResult,
+    format_table,
+    render_run_stats,
+)
 from repro.evaluation.persistence import load_result, save_result
 from repro.evaluation import experiments
 
@@ -24,11 +33,13 @@ __all__ = [
     "RunResult",
     "run_algorithm",
     "run_suite",
+    "stats_collector",
     "normalized_costs",
     "cost_over_time",
     "summarize_costs",
     "ExperimentResult",
     "format_table",
+    "render_run_stats",
     "save_result",
     "load_result",
     "experiments",

@@ -13,10 +13,16 @@ import numpy as np
 
 from repro.baselines.lcp import LCPM
 from repro.core.competitive import empirical_ratio, theorem1_ratio
-from repro.core.online import OnlineConfig, RegularizedOnline
+from repro.core.online import RegularizedOnline
+from repro.core.subproblem import SubproblemConfig
 from repro.evaluation.metrics import normalized_costs
 from repro.evaluation.reporting import ExperimentResult
-from repro.evaluation.runner import OfflineOracle, run_algorithm, run_suite
+from repro.evaluation.runner import (
+    OfflineOracle,
+    run_algorithm,
+    run_suite,
+    stats_collector,
+)
 from repro.evaluation.scale import ExperimentScale
 from repro.model.instance import Instance
 from repro.prediction.fhc import FixedHorizonControl
@@ -149,7 +155,7 @@ def fig5_cost_no_prediction(
             instance,
             {
                 "one-shot": _Greedy(),
-                "online": RegularizedOnline(OnlineConfig(epsilon=epsilon)),
+                "online": RegularizedOnline(SubproblemConfig(epsilon=epsilon)),
                 "offline": OfflineOracle(),
             },
         )
@@ -207,7 +213,7 @@ def fig6_ratio_vs_epsilon(
         for eps in epsilons:
             online = run_algorithm(
                 "online",
-                RegularizedOnline(OnlineConfig(epsilon=eps)),
+                RegularizedOnline(SubproblemConfig(epsilon=eps)),
                 instance,
             )
             rows.append(
@@ -251,7 +257,7 @@ def fig7_sla(
             instance,
             {
                 "one-shot": _Greedy(),
-                "online": RegularizedOnline(OnlineConfig(epsilon=epsilon)),
+                "online": RegularizedOnline(SubproblemConfig(epsilon=epsilon)),
                 "lcp-m": LCPM(lookback=lcp_lookback),
                 "offline": OfflineOracle(),
             },
@@ -292,10 +298,10 @@ def _predictive_suite(window: int, epsilon: float, error: float, seed: int):
         "fhc": FixedHorizonControl(window, predictor=_predictor(error, seed)),
         "rhc": RecedingHorizonControl(window, predictor=_predictor(error, seed)),
         "rfhc": RegularizedFixedHorizonControl(
-            window, OnlineConfig(epsilon=epsilon), predictor=_predictor(error, seed)
+            window, SubproblemConfig(epsilon=epsilon), predictor=_predictor(error, seed)
         ),
         "rrhc": RegularizedRecedingHorizonControl(
-            window, OnlineConfig(epsilon=epsilon), predictor=_predictor(error, seed)
+            window, SubproblemConfig(epsilon=epsilon), predictor=_predictor(error, seed)
         ),
     }
 
@@ -315,7 +321,7 @@ def fig8_prediction_window(
     instance = make_instance(scale, workload, k=k, recon_weight=recon_weight)
     offline = run_algorithm("offline", OfflineOracle(), instance)
     online = run_algorithm(
-        "online", RegularizedOnline(OnlineConfig(epsilon=epsilon)), instance
+        "online", RegularizedOnline(SubproblemConfig(epsilon=epsilon)), instance
     )
     rows = []
     for w in windows:
@@ -372,7 +378,7 @@ def fig10_error_sweep(
     instance = make_instance(scale, workload, k=k, recon_weight=recon_weight)
     offline = run_algorithm("offline", OfflineOracle(), instance)
     online = run_algorithm(
-        "online", RegularizedOnline(OnlineConfig(epsilon=epsilon)), instance
+        "online", RegularizedOnline(SubproblemConfig(epsilon=epsilon)), instance
     )
     rows = []
     for error in errors:
@@ -524,6 +530,9 @@ def ntier_generalization(
 
     off = solve_ntier_offline(inst)
     online = NTierRegularizedOnline(NTierConfig(epsilon=epsilon)).run(inst)
+    # N-tier trajectories don't go through run_algorithm (two-tier
+    # scoring); feed the stats collector directly so --stats covers it.
+    stats_collector.add("ntier-online", online.run_stats)
     greedy = NTierGreedy().run(inst)
     c_on, c_gr = inst.cost(online), inst.cost(greedy)
     stage1_links = sum(1 for l in links if l.stage == 1)

@@ -36,6 +36,43 @@ def format_table(headers: "list[str]", rows: "list[tuple]") -> str:
     return "\n".join(out)
 
 
+def render_run_stats(records: "list[tuple[str, object]]") -> str:
+    """Render engine :class:`~repro.engine.stats.RunStats` as a table.
+
+    ``records`` are ``(algorithm name, RunStats)`` pairs, e.g. from
+    :data:`repro.evaluation.runner.stats_collector`.
+    """
+    headers = [
+        "algorithm",
+        "steps",
+        "mean step [s]",
+        "max step [s]",
+        "solves",
+        "newton iters",
+        "warm hit rate",
+        "backends",
+    ]
+    rows = []
+    for name, stats in records:
+        if stats.warm_attempts:
+            hit = f"{100.0 * stats.warm_hit_rate:.0f}% ({stats.warm_hits}/{stats.warm_attempts})"
+        else:
+            hit = "n/a"
+        rows.append(
+            (
+                name,
+                stats.n_steps,
+                stats.mean_step_time,
+                stats.max_step_time,
+                stats.total_solves,
+                stats.total_newton_iters,
+                hit,
+                ",".join(stats.backends) or "-",
+            )
+        )
+    return format_table(headers, rows)
+
+
 @dataclass
 class ExperimentResult:
     """Structured output of one reproduced table/figure.

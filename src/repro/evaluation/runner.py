@@ -1,9 +1,18 @@
-"""Run algorithms on instances and collect scored results."""
+"""Run algorithms on instances and collect scored results.
+
+Algorithms driven through the solve engine attach per-step solver
+statistics (:class:`~repro.engine.stats.RunStats`) to their
+trajectories; :func:`run_algorithm` lifts those onto the
+:class:`RunResult` and, when the module-level :data:`stats_collector`
+is enabled (the CLI's ``--stats`` flag), records them for later
+reporting.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.stats import RunStats
 from repro.model.allocation import Trajectory
 from repro.model.costs import CostBreakdown, evaluate_cost
 from repro.model.feasibility import check_trajectory
@@ -11,12 +20,46 @@ from repro.model.instance import Instance
 from repro.util.timing import Timer
 
 
+class StatsCollector:
+    """Opt-in sink for the engine statistics of scored runs.
+
+    Disabled by default (zero overhead); the CLI enables it for
+    ``--stats`` and renders/clears it after each experiment.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.records: "list[tuple[str, RunStats]]" = []
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> "list[tuple[str, RunStats]]":
+        """Return and forget everything collected so far."""
+        records, self.records = self.records, []
+        return records
+
+    def add(self, name: str, stats: RunStats) -> None:
+        if self.enabled:
+            self.records.append((name, stats))
+
+
+#: Process-wide collector the CLI's ``--stats`` flag switches on.
+stats_collector = StatsCollector()
+
+
 @dataclass
 class RunResult:
     """A scored algorithm run.
 
     ``total`` is the realized cost on the *true* instance data
-    (controllers may have planned on forecasts).
+    (controllers may have planned on forecasts).  ``stats`` carries
+    the engine's per-step solver statistics when the algorithm ran
+    through a :class:`~repro.engine.session.SolveSession` (every
+    built-in controller does), else ``None``.
     """
 
     name: str
@@ -26,6 +69,7 @@ class RunResult:
     runtime: float
     feasible: bool
     feasibility_detail: str
+    stats: "RunStats | None" = None
 
 
 def run_algorithm(name: str, algorithm, instance: Instance) -> RunResult:
@@ -34,6 +78,9 @@ def run_algorithm(name: str, algorithm, instance: Instance) -> RunResult:
         trajectory = algorithm.run(instance)
     cost = evaluate_cost(instance, trajectory)
     report = check_trajectory(instance, trajectory)
+    stats = getattr(trajectory, "run_stats", None)
+    if stats is not None:
+        stats_collector.add(name, stats)
     return RunResult(
         name=name,
         trajectory=trajectory,
@@ -42,6 +89,7 @@ def run_algorithm(name: str, algorithm, instance: Instance) -> RunResult:
         runtime=timer.elapsed,
         feasible=report.ok,
         feasibility_detail=report.describe(),
+        stats=stats,
     )
 
 

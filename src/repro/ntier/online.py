@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.engine.session import SlotData, SolveSession, source_network
+from repro.engine.stats import StatsProbe
 from repro.ntier.layered import LayeredNetwork
 from repro.ntier.problem import NTierInstance, NTierTrajectory
 from repro.solvers.convex import (
@@ -127,8 +129,13 @@ class NTierSubproblem:
         link_price: np.ndarray,
         state: NTierState,
         warm: "np.ndarray | None" = None,
+        probe=None,
     ) -> "tuple[NTierState, np.ndarray, np.ndarray]":
-        """One regularized slot; returns (new state, s, reduced v)."""
+        """One regularized slot; returns (new state, s, reduced v).
+
+        ``probe`` optionally records the solve's backend, iteration
+        count and warm-start outcome (engine statistics).
+        """
         net = self.network
         cfg = self.config
         U, L, P = net.n_upper_nodes, net.n_links, net.n_paths
@@ -166,6 +173,15 @@ class NTierSubproblem:
             if ok and np.all(warm - prog.lb > 0) and np.all(prog.ub - warm > 0):
                 v0 = warm
         v = prog.solve(v0=v0, options=cfg.solver)
+        if probe is not None:
+            info = prog.last_info
+            probe.record_solve(
+                backend=info.backend,
+                newton_iters=info.newton_iters,
+                warm_attempted=warm is not None,
+                warm_used=v0 is not None,
+                fallback=info.fallback,
+            )
         new_state = NTierState(
             X=np.clip(v[self.sl_X], 0.0, net.node_capacity),
             Y=np.clip(v[self.sl_Y], 0.0, net.link_capacity),
@@ -174,8 +190,24 @@ class NTierSubproblem:
         return new_state, s, v
 
 
+@dataclass
+class NTierOnlineState:
+    """Engine state of the N-tier online controller."""
+
+    subproblem: NTierSubproblem
+    state: NTierState
+    warm: "np.ndarray | None" = None
+    probe: StatsProbe = field(default_factory=StatsProbe)
+
+
 class NTierRegularizedOnline:
-    """Chain of regularized per-slot subproblems over (X, Y, s)."""
+    """Chain of regularized per-slot subproblems over (X, Y, s).
+
+    A :class:`~repro.engine.session.Controller` over the layered
+    network; like the two-tier prediction-free algorithm it builds
+    from a bare network and streams (``slot.tier2_price`` carries the
+    flattened node prices).
+    """
 
     name = "ntier-regularized-online"
 
@@ -185,21 +217,35 @@ class NTierRegularizedOnline:
     def make_subproblem(self, instance: NTierInstance) -> NTierSubproblem:
         return NTierSubproblem(instance.network, self.config)
 
-    def run(self, instance: NTierInstance) -> NTierTrajectory:
-        """Run the online loop over the whole horizon."""
-        sub = self.make_subproblem(instance)
-        state = NTierState.zeros(instance.network)
-        warm = None
-        Xs, Ys, ss = [], [], []
-        for t in range(instance.horizon):
-            state, s_t, warm = sub.solve(
-                instance.workload[t],
-                instance.node_price[t],
-                instance.link_price[t],
-                state,
-                warm=warm,
-            )
-            Xs.append(state.X.copy())
-            Ys.append(state.Y.copy())
-            ss.append(s_t)
+    # ------------------------------------------------------------------
+    # Controller protocol
+    # ------------------------------------------------------------------
+    def make_state(self, source, initial: "NTierState | None" = None) -> NTierOnlineState:
+        net = source_network(source)
+        return NTierOnlineState(
+            subproblem=NTierSubproblem(net, self.config),
+            state=initial or NTierState.zeros(net),
+        )
+
+    def decide(
+        self, st: NTierOnlineState, t: int, slot: SlotData
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """One regularized slot; returns the ``(X, Y, s)`` step triple."""
+        st.state, s_t, st.warm = st.subproblem.solve(
+            slot.workload,
+            slot.tier2_price,
+            slot.link_price,
+            st.state,
+            warm=st.warm,
+            probe=st.probe,
+        )
+        return st.state.X.copy(), st.state.Y.copy(), s_t
+
+    def assemble(self, steps: "list[tuple]") -> NTierTrajectory:
+        """Stack ``(X, Y, s)`` step triples into an N-tier trajectory."""
+        Xs, Ys, ss = zip(*steps)
         return NTierTrajectory(np.stack(Xs), np.stack(Ys), np.stack(ss))
+
+    def run(self, instance: NTierInstance) -> NTierTrajectory:
+        """Run the online loop over the whole horizon (engine-driven)."""
+        return SolveSession(self, instance).run()

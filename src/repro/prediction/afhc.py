@@ -13,17 +13,35 @@ combination of feasible slot decisions is feasible.  The classical
 analysis gives AFHC a ``1 + O(1/w)`` competitive ratio under accurate
 predictions — but unlike RFHC/RRHC it has no guarantee that survives
 the prediction horizon being shorter than workload ramps.
+
+Engine shape: the ``w`` staggered planning passes run once when the
+state is built (they need the full forecast stream); ``decide`` then
+repairs the averaged slot decision against the streamed realized data.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
+from repro.engine.session import SlotData, SolveSession
+from repro.engine.stats import StatsProbe
 from repro.model.allocation import Allocation, Trajectory
 from repro.model.instance import Instance
 from repro.offline.optimal import solve_offline
 from repro.prediction.predictors import ExactPredictor, Predictor
 from repro.prediction.repair import topup_repair
+
+
+@dataclass
+class AveragedState:
+    """Carried state: the precomputed averaged plan plus repair state."""
+
+    instance: Instance
+    prev: Allocation
+    averaged: Trajectory
+    probe: StatsProbe = field(default_factory=StatsProbe)
 
 
 class AveragingFixedHorizonControl:
@@ -38,7 +56,11 @@ class AveragingFixedHorizonControl:
         self.predictor = predictor or ExactPredictor()
 
     def _fhc_with_offset(
-        self, instance: Instance, offset: int, initial: Allocation
+        self,
+        instance: Instance,
+        offset: int,
+        initial: Allocation,
+        probe: "StatsProbe | None" = None,
     ) -> Trajectory:
         """One FHC pass whose first block ends at slot ``offset`` - 1."""
         prev = initial
@@ -55,10 +77,44 @@ class AveragingFixedHorizonControl:
                 continue
             forecast = self.predictor.window(instance, start, stop - start)
             plan = solve_offline(forecast, initial=prev).trajectory
+            if probe is not None:
+                probe.record_solve(backend="lp")
             for k in range(plan.horizon):
                 steps.append(plan.step(k))
                 prev = steps[-1]
         return Trajectory.from_steps(steps)
+
+    # ------------------------------------------------------------------
+    def make_state(
+        self, instance: Instance, initial: "Allocation | None" = None
+    ) -> AveragedState:
+        """Run the ``w`` staggered planning passes and average them."""
+        self.predictor.reset()
+        init = initial or Allocation.zeros(instance.network.n_edges)
+        probe = StatsProbe()
+        passes = []
+        for offset in range(min(self.window, instance.horizon)):
+            self.predictor.reset()
+            passes.append(self._fhc_with_offset(instance, offset, init, probe))
+        averaged = Trajectory(
+            np.mean([p.x for p in passes], axis=0),
+            np.mean([p.y for p in passes], axis=0),
+            np.mean([p.s for p in passes], axis=0),
+        )
+        return AveragedState(
+            instance=instance, prev=init, averaged=averaged, probe=probe
+        )
+
+    def decide(self, state: AveragedState, t: int, slot: SlotData) -> Allocation:
+        """Repair the averaged slot plan against the realized slot data."""
+        applied = topup_repair(
+            slot.as_instance(state.instance.network),
+            0,
+            state.averaged.step(t),
+            state.prev,
+        )
+        state.prev = applied
+        return applied
 
     def run(
         self,
@@ -66,21 +122,4 @@ class AveragingFixedHorizonControl:
         initial: "Allocation | None" = None,
     ) -> Trajectory:
         """Run AFHC over the whole horizon (true costs, repaired SLA)."""
-        self.predictor.reset()
-        init = initial or Allocation.zeros(instance.network.n_edges)
-        passes = []
-        for offset in range(min(self.window, instance.horizon)):
-            self.predictor.reset()
-            passes.append(self._fhc_with_offset(instance, offset, init))
-        x = np.mean([p.x for p in passes], axis=0)
-        y = np.mean([p.y for p in passes], axis=0)
-        s = np.mean([p.s for p in passes], axis=0)
-        averaged = Trajectory(x, y, s)
-        # SLA repair against the realized workload (noisy predictors).
-        prev = init
-        steps = []
-        for t in range(instance.horizon):
-            applied = topup_repair(instance, t, averaged.step(t), prev)
-            steps.append(applied)
-            prev = applied
-        return Trajectory.from_steps(steps)
+        return SolveSession(self, instance, initial=initial).run()

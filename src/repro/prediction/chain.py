@@ -7,11 +7,21 @@ prediction-free online algorithm would produce, computed with
 controllers pin their window endpoints to this chain, which is what
 makes their cost provably no larger than the online algorithm's
 (Lemma 3 / Theorem 4).
+
+The chain is a streaming consumer of the engine: it holds the
+prediction-free controller's state and feeds it one forecast slot at a
+time — exactly the :class:`~repro.engine.session.SolveSession` step
+discipline, so warm starts thread through chain extensions the same
+way they do in a plain online run.  When a ``probe`` is supplied
+(RFHC/RRHC pass their own state's probe), the chain's subproblem
+solves are recorded into the *caller's* per-step statistics.
 """
 
 from __future__ import annotations
 
-from repro.core.subproblem import RegularizedSubproblem, SubproblemConfig
+from repro.core.online import RegularizedOnline
+from repro.core.subproblem import SubproblemConfig
+from repro.engine.session import SlotData
 from repro.model.allocation import Allocation
 from repro.model.instance import Instance
 from repro.prediction.predictors import Predictor
@@ -26,13 +36,20 @@ class RegularizedChain:
         config: SubproblemConfig,
         predictor: Predictor,
         initial: "Allocation | None" = None,
+        probe=None,
     ) -> None:
         self.instance = instance
         self.predictor = predictor
-        self.subproblem = RegularizedSubproblem(instance.network, config)
-        self.initial = initial or Allocation.zeros(instance.network.n_edges)
+        self._controller = RegularizedOnline(config)
+        self._state = self._controller.make_state(instance.network, initial=initial)
+        if probe is not None:
+            self._state.probe = probe
         self.entries: list[Allocation] = []
-        self._warm = None  # previous reduced solution (speeds the barrier)
+
+    @property
+    def subproblem(self):
+        """The reusable regularized subproblem (shared with the state)."""
+        return self._state.subproblem
 
     def extend_to(self, slot: int) -> None:
         """Ensure chain entries exist for every slot ``<= slot``.
@@ -46,14 +63,9 @@ class RegularizedChain:
             raise ValueError(f"slot {slot} beyond horizon {self.instance.horizon}")
         while len(self.entries) <= slot:
             tau = len(self.entries)
-            prev = self.entries[-1] if self.entries else self.initial
             forecast = self.predictor.window(self.instance, tau, 1)
-            alloc, self._warm = self.subproblem.solve_reduced(
-                workload=forecast.workload[0],
-                tier2_price=forecast.tier2_price[0],
-                link_price=forecast.link_price[0],
-                previous=prev,
-                warm=self._warm,
+            alloc = self._controller.decide(
+                self._state, tau, SlotData.from_instance(forecast, 0)
             )
             self.entries.append(alloc)
 

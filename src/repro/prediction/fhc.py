@@ -6,15 +6,38 @@ applied decision, and applies the whole block.  With ``w = 1`` this is
 exactly greedy one-shot control.  Theorem 3: when the prediction
 window is shorter than the workload's ramp-down phases, FHC's cost can
 be arbitrarily larger than the offline optimum.
+
+Engine shape: a :class:`~repro.engine.session.Controller` whose state
+carries the pending block plan; ``decide`` re-plans when the pending
+queue empties (block boundaries) and repairs each planned slot against
+the *streamed* realized slot data.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
+from repro.engine.session import SlotData, SolveSession
+from repro.engine.stats import StatsProbe
 from repro.model.allocation import Allocation, Trajectory
 from repro.model.instance import Instance
 from repro.offline.optimal import solve_offline
 from repro.prediction.predictors import ExactPredictor, Predictor
 from repro.prediction.repair import topup_repair
+
+
+@dataclass
+class WindowedState:
+    """Carried state shared by the windowed controllers.
+
+    ``pending`` holds the not-yet-applied tail of the current block
+    plan; ``prev`` is the previously *applied* decision.
+    """
+
+    instance: Instance
+    prev: Allocation
+    pending: "list[Allocation]" = field(default_factory=list)
+    probe: StatsProbe = field(default_factory=StatsProbe)
 
 
 class FixedHorizonControl:
@@ -28,21 +51,34 @@ class FixedHorizonControl:
         self.window = window
         self.predictor = predictor or ExactPredictor()
 
+    # ------------------------------------------------------------------
+    def make_state(
+        self, instance: Instance, initial: "Allocation | None" = None
+    ) -> WindowedState:
+        self.predictor.reset()
+        return WindowedState(
+            instance=instance,
+            prev=initial or Allocation.zeros(instance.network.n_edges),
+        )
+
+    def decide(self, state: WindowedState, t: int, slot: SlotData) -> Allocation:
+        """Apply (and lazily re-plan) the block decision for slot ``t``."""
+        if not state.pending:
+            forecast = self.predictor.window(state.instance, t, self.window)
+            plan = solve_offline(forecast, initial=state.prev).trajectory
+            state.probe.record_solve(backend="lp")
+            state.pending = [plan.step(k) for k in range(plan.horizon)]
+        planned = state.pending.pop(0)
+        applied = topup_repair(
+            slot.as_instance(state.instance.network), 0, planned, state.prev
+        )
+        state.prev = applied
+        return applied
+
     def run(
         self,
         instance: Instance,
         initial: "Allocation | None" = None,
     ) -> Trajectory:
         """Run FHC over the whole horizon (true costs, repaired SLA)."""
-        self.predictor.reset()
-        prev = initial or Allocation.zeros(instance.network.n_edges)
-        steps: list[Allocation] = []
-        T = instance.horizon
-        for start in range(0, T, self.window):
-            forecast = self.predictor.window(instance, start, self.window)
-            plan = solve_offline(forecast, initial=prev).trajectory
-            for k in range(forecast.horizon):
-                applied = topup_repair(instance, start + k, plan.step(k), prev)
-                steps.append(applied)
-                prev = applied
-        return Trajectory.from_steps(steps)
+        return SolveSession(self, instance, initial=initial).run()

@@ -14,17 +14,37 @@ Theorem 4: because every block's endpoints sit on the regularized
 chain, iterating Lemma 3 gives
 ``COST_RFHC <= COST_online`` — RFHC inherits the prediction-free
 algorithm's competitive ratio while exploiting the forecasts.
+
+Engine shape: a :class:`~repro.engine.session.Controller` whose state
+holds the chain and the pending block plan; chain subproblem solves
+share the state's probe, so per-step statistics include the chain's
+warm-started Newton work.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.core.subproblem import SubproblemConfig
+from repro.engine.session import SlotData, SolveSession
+from repro.engine.stats import StatsProbe
 from repro.model.allocation import Allocation, Trajectory
 from repro.model.instance import Instance
 from repro.offline.optimal import solve_offline
 from repro.prediction.chain import RegularizedChain
 from repro.prediction.predictors import ExactPredictor, Predictor
 from repro.prediction.repair import topup_repair
+
+
+@dataclass
+class ChainedState:
+    """Carried state of the chain-pinned controllers (RFHC/RRHC)."""
+
+    instance: Instance
+    prev: Allocation
+    chain: RegularizedChain
+    pending: "list[Allocation]" = field(default_factory=list)
+    probe: StatsProbe = field(default_factory=StatsProbe)
 
 
 class RegularizedFixedHorizonControl:
@@ -44,33 +64,51 @@ class RegularizedFixedHorizonControl:
         self.config = config or SubproblemConfig()
         self.predictor = predictor or ExactPredictor()
 
+    # ------------------------------------------------------------------
+    def make_state(
+        self, instance: Instance, initial: "Allocation | None" = None
+    ) -> ChainedState:
+        self.predictor.reset()
+        probe = StatsProbe()
+        chain = RegularizedChain(
+            instance, self.config, self.predictor, initial, probe=probe
+        )
+        return ChainedState(
+            instance=instance,
+            prev=initial or Allocation.zeros(instance.network.n_edges),
+            chain=chain,
+            probe=probe,
+        )
+
+    def decide(self, state: ChainedState, t: int, slot: SlotData) -> Allocation:
+        """Apply (and lazily re-plan) the pinned block decision for slot ``t``."""
+        if not state.pending:
+            stop = min(t + self.window, state.instance.horizon)
+            terminal_slot = stop - 1
+            terminal = state.chain[terminal_slot]
+            plans: list[Allocation] = []
+            if terminal_slot > t:
+                forecast = self.predictor.window(
+                    state.instance, t, terminal_slot - t
+                )
+                plan = solve_offline(
+                    forecast, initial=state.prev, terminal=terminal
+                ).trajectory
+                state.probe.record_solve(backend="lp")
+                plans = [plan.step(k) for k in range(plan.horizon)]
+            plans.append(terminal)
+            state.pending = plans
+        planned = state.pending.pop(0)
+        applied = topup_repair(
+            slot.as_instance(state.instance.network), 0, planned, state.prev
+        )
+        state.prev = applied
+        return applied
+
     def run(
         self,
         instance: Instance,
         initial: "Allocation | None" = None,
     ) -> Trajectory:
         """Run RFHC over the whole horizon (true costs, repaired SLA)."""
-        self.predictor.reset()
-        prev = initial or Allocation.zeros(instance.network.n_edges)
-        chain = RegularizedChain(instance, self.config, self.predictor, initial)
-        steps: list[Allocation] = []
-        T = instance.horizon
-        for start in range(0, T, self.window):
-            stop = min(start + self.window, T)
-            terminal_slot = stop - 1
-            terminal = chain[terminal_slot]
-            if terminal_slot > start:
-                forecast = self.predictor.window(
-                    instance, start, terminal_slot - start
-                )
-                plan = solve_offline(
-                    forecast, initial=prev, terminal=terminal
-                ).trajectory
-                for k in range(plan.horizon):
-                    applied = topup_repair(instance, start + k, plan.step(k), prev)
-                    steps.append(applied)
-                    prev = applied
-            applied = topup_repair(instance, terminal_slot, terminal, prev)
-            steps.append(applied)
-            prev = applied
-        return Trajectory.from_steps(steps)
+        return SolveSession(self, instance, initial=initial).run()

@@ -5,13 +5,19 @@ At every slot ``t`` the controller solves P1 over ``[t, t+w)``
 only the slot-``t`` decision.  With ``w = 1`` this is greedy one-shot
 control.  Theorem 3 shows RHC shares FHC's unbounded worst case on
 ramp-down phases longer than the window.
+
+Engine shape: a :class:`~repro.engine.session.Controller` that
+re-plans at every ``decide`` and repairs against the streamed realized
+slot data.
 """
 
 from __future__ import annotations
 
+from repro.engine.session import SlotData, SolveSession
 from repro.model.allocation import Allocation, Trajectory
 from repro.model.instance import Instance
 from repro.offline.optimal import solve_offline
+from repro.prediction.fhc import WindowedState
 from repro.prediction.predictors import ExactPredictor, Predictor
 from repro.prediction.repair import topup_repair
 
@@ -27,19 +33,31 @@ class RecedingHorizonControl:
         self.window = window
         self.predictor = predictor or ExactPredictor()
 
+    # ------------------------------------------------------------------
+    def make_state(
+        self, instance: Instance, initial: "Allocation | None" = None
+    ) -> WindowedState:
+        self.predictor.reset()
+        return WindowedState(
+            instance=instance,
+            prev=initial or Allocation.zeros(instance.network.n_edges),
+        )
+
+    def decide(self, state: WindowedState, t: int, slot: SlotData) -> Allocation:
+        """Plan over ``[t, t+w)`` and apply only slot ``t`` (repaired)."""
+        forecast = self.predictor.window(state.instance, t, self.window)
+        plan = solve_offline(forecast, initial=state.prev).trajectory
+        state.probe.record_solve(backend="lp")
+        applied = topup_repair(
+            slot.as_instance(state.instance.network), 0, plan.step(0), state.prev
+        )
+        state.prev = applied
+        return applied
+
     def run(
         self,
         instance: Instance,
         initial: "Allocation | None" = None,
     ) -> Trajectory:
         """Run RHC over the whole horizon (true costs, repaired SLA)."""
-        self.predictor.reset()
-        prev = initial or Allocation.zeros(instance.network.n_edges)
-        steps: list[Allocation] = []
-        for t in range(instance.horizon):
-            forecast = self.predictor.window(instance, t, self.window)
-            plan = solve_offline(forecast, initial=prev).trajectory
-            applied = topup_repair(instance, t, plan.step(0), prev)
-            steps.append(applied)
-            prev = applied
-        return Trajectory.from_steps(steps)
+        return SolveSession(self, instance, initial=initial).run()

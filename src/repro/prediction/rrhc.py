@@ -13,17 +13,23 @@ At every slot ``t`` the controller:
 
 Like RFHC, RRHC's cost is bounded by the prediction-free online
 algorithm's cost (Theorem 4), hence inherits its competitive ratio.
+
+Engine shape: a per-slot :class:`~repro.engine.session.Controller`
+sharing :class:`~repro.prediction.rfhc.ChainedState` with RFHC.
 """
 
 from __future__ import annotations
 
 from repro.core.subproblem import SubproblemConfig
+from repro.engine.session import SlotData, SolveSession
+from repro.engine.stats import StatsProbe
 from repro.model.allocation import Allocation, Trajectory
 from repro.model.instance import Instance
 from repro.offline.optimal import solve_offline
 from repro.prediction.chain import RegularizedChain
 from repro.prediction.predictors import ExactPredictor, Predictor
 from repro.prediction.repair import topup_repair
+from repro.prediction.rfhc import ChainedState
 
 
 class RegularizedRecedingHorizonControl:
@@ -43,29 +49,47 @@ class RegularizedRecedingHorizonControl:
         self.config = config or SubproblemConfig()
         self.predictor = predictor or ExactPredictor()
 
+    # ------------------------------------------------------------------
+    def make_state(
+        self, instance: Instance, initial: "Allocation | None" = None
+    ) -> ChainedState:
+        self.predictor.reset()
+        probe = StatsProbe()
+        chain = RegularizedChain(
+            instance, self.config, self.predictor, initial, probe=probe
+        )
+        return ChainedState(
+            instance=instance,
+            prev=initial or Allocation.zeros(instance.network.n_edges),
+            chain=chain,
+            probe=probe,
+        )
+
+    def decide(self, state: ChainedState, t: int, slot: SlotData) -> Allocation:
+        """Solve the pinned window at ``t`` and apply only slot ``t``."""
+        terminal_slot = min(t + self.window, state.instance.horizon) - 1
+        terminal = state.chain[terminal_slot]
+        if terminal_slot > t:
+            forecast = self.predictor.window(
+                state.instance, t, terminal_slot - t
+            )
+            plan = solve_offline(
+                forecast, initial=state.prev, terminal=terminal
+            ).trajectory
+            state.probe.record_solve(backend="lp")
+            planned = plan.step(0)
+        else:
+            planned = terminal
+        applied = topup_repair(
+            slot.as_instance(state.instance.network), 0, planned, state.prev
+        )
+        state.prev = applied
+        return applied
+
     def run(
         self,
         instance: Instance,
         initial: "Allocation | None" = None,
     ) -> Trajectory:
         """Run RRHC over the whole horizon (true costs, repaired SLA)."""
-        self.predictor.reset()
-        prev = initial or Allocation.zeros(instance.network.n_edges)
-        chain = RegularizedChain(instance, self.config, self.predictor, initial)
-        steps: list[Allocation] = []
-        T = instance.horizon
-        for t in range(T):
-            terminal_slot = min(t + self.window, T) - 1
-            terminal = chain[terminal_slot]
-            if terminal_slot > t:
-                forecast = self.predictor.window(instance, t, terminal_slot - t)
-                plan = solve_offline(
-                    forecast, initial=prev, terminal=terminal
-                ).trajectory
-                planned = plan.step(0)
-            else:
-                planned = terminal
-            applied = topup_repair(instance, t, planned, prev)
-            steps.append(applied)
-            prev = applied
-        return Trajectory.from_steps(steps)
+        return SolveSession(self, instance, initial=initial).run()

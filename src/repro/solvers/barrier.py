@@ -30,7 +30,12 @@ import scipy.linalg as la
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.solvers.convex import ConvexSolverError, SmoothConvexProgram, SolverOptions
+from repro.solvers.convex import (
+    ConvexSolverError,
+    SmoothConvexProgram,
+    SolveInfo,
+    SolverOptions,
+)
 
 _DENSE_NNZ_THRESHOLD = 2_000_000  # m*n above this stays sparse
 _MAX_BOUNDARY_FRACTION = 0.99
@@ -159,6 +164,7 @@ def barrier_solve(
     prog: SmoothConvexProgram,
     v0: "np.ndarray | None" = None,
     options: "SolverOptions | None" = None,
+    info: "SolveInfo | None" = None,
 ) -> np.ndarray:
     """Path-following barrier method; returns the optimal ``v``.
 
@@ -191,6 +197,8 @@ def barrier_solve(
         stalled = False
         for _ in range(options.max_newton):
             dv, dec_sq = ws.newton_step(v, tau)
+            if info is not None:
+                info.newton_iters += 1
             if dec_sq / 2.0 <= center_tol:
                 break
             step = ws.max_step(v, dv)

@@ -42,6 +42,27 @@ class ConvexSolverError(RuntimeError):
 
 
 @dataclass
+class SolveInfo:
+    """Bookkeeping for one :meth:`SmoothConvexProgram.solve` call.
+
+    Attributes
+    ----------
+    backend:
+        The backend that produced the returned point.
+    newton_iters:
+        Newton (barrier) or trust-region iterations spent, summed over
+        backends when a fallback was needed.
+    fallback:
+        True when the requested backend failed and a fallback backend
+        produced the result.
+    """
+
+    backend: str = ""
+    newton_iters: int = 0
+    fallback: bool = False
+
+
+@dataclass
 class EntropicTerm:
     """A group of relative-entropy regularizer terms.
 
@@ -183,6 +204,7 @@ class SmoothConvexProgram:
         self.ub = np.broadcast_to(np.asarray(ub, float), (n,)).copy()
         if np.any(self.lb > self.ub):
             raise ValueError("lb > ub")
+        self.last_info = SolveInfo()
 
     # ------------------------------------------------------------------
     def residual(self, v: np.ndarray) -> float:
@@ -200,21 +222,26 @@ class SmoothConvexProgram:
         """Solve the program, optionally warm-starting from ``v0``.
 
         Returns the optimal ``v``; raises :class:`ConvexSolverError`
-        if every backend fails.
+        if every backend fails.  Iteration counts and the backend that
+        produced the result are recorded in :attr:`last_info`.
         """
         options = options or SolverOptions()
         backends = [options.backend]
         if options.fallback and options.backend != "trust-constr":
             backends.append("trust-constr")
         errors: list[str] = []
-        for backend in backends:
+        info = SolveInfo()
+        self.last_info = info
+        for idx, backend in enumerate(backends):
+            info.backend = backend
+            info.fallback = idx > 0
             try:
                 if backend == "barrier":
                     from repro.solvers.barrier import barrier_solve
 
-                    return barrier_solve(self, v0=v0, options=options)
+                    return barrier_solve(self, v0=v0, options=options, info=info)
                 if backend == "trust-constr":
-                    return self._solve_trust_constr(v0, options)
+                    return self._solve_trust_constr(v0, options, info=info)
                 raise ConvexSolverError(f"unknown backend {backend!r}")
             except ConvexSolverError as exc:  # try the next backend
                 errors.append(f"{backend}: {exc}")
@@ -262,7 +289,10 @@ class SmoothConvexProgram:
         return np.asarray(res.x[:n], dtype=float)
 
     def _solve_trust_constr(
-        self, v0: "np.ndarray | None", options: SolverOptions
+        self,
+        v0: "np.ndarray | None",
+        options: SolverOptions,
+        info: "SolveInfo | None" = None,
     ) -> np.ndarray:
         obj = self.objective
         n = obj.n
@@ -290,6 +320,8 @@ class SmoothConvexProgram:
             },
         )
         v = np.asarray(res.x, dtype=float)
+        if info is not None:
+            info.newton_iters += int(getattr(res, "niter", 0) or 0)
         # trust-constr can end with tiny constraint violations; project
         # box bounds exactly and accept small general-constraint slack.
         v = np.clip(v, self.lb, self.ub)

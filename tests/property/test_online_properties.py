@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 from conftest import make_instance, make_network  # noqa: E402
 
-from repro.core import OnlineConfig, RegularizedOnline, theorem1_ratio  # noqa: E402
+from repro.core import SubproblemConfig, RegularizedOnline, theorem1_ratio  # noqa: E402
 from repro.model import check_trajectory, evaluate_cost  # noqa: E402
 from repro.offline import solve_offline  # noqa: E402
 
@@ -25,7 +25,7 @@ def test_online_feasible_on_random_instances(seed, T, epsilon):
     """Lemma 1 end to end: every per-slot decision is feasible for P1."""
     net = make_network(n_tier2=3, n_tier1=4, k=2)
     inst = make_instance(net, horizon=T, seed=seed)
-    traj = RegularizedOnline(OnlineConfig(epsilon=epsilon)).run(inst)
+    traj = RegularizedOnline(SubproblemConfig(epsilon=epsilon)).run(inst)
     rep = check_trajectory(inst, traj)
     assert rep.ok, rep.describe()
 
@@ -38,7 +38,7 @@ def test_theorem1_bound_holds(seed, T):
     inst = make_instance(net, horizon=T, seed=seed)
     eps = 1e-2
     on = evaluate_cost(
-        inst, RegularizedOnline(OnlineConfig(epsilon=eps)).run(inst)
+        inst, RegularizedOnline(SubproblemConfig(epsilon=eps)).run(inst)
     ).total
     off = solve_offline(inst).objective
     if off > 1e-9:
@@ -51,7 +51,7 @@ def test_tier2_totals_never_spike_above_need(seed):
     """Totals are bounded by max(previous totals, current requirement)."""
     net = make_network(n_tier2=3, n_tier1=4, k=2)
     inst = make_instance(net, horizon=6, seed=seed)
-    traj = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+    traj = RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(inst)
     X = traj.tier2_totals(net)
     total = X.sum(axis=1)
     demand = inst.workload.sum(axis=1)

@@ -49,7 +49,7 @@ class TestLCPM:
         LCP-M in the multi-cloud setting (per-variable lazy clamping
         composes badly with shifting LP routings — the very reason the
         paper notes LCP does not generalize to multiple clouds)."""
-        from repro.core import OnlineConfig, RegularizedOnline
+        from repro.core import SubproblemConfig, RegularizedOnline
 
         T = 10
         vee = np.concatenate([np.linspace(4.0, 0.5, 5), np.linspace(0.5, 4.0, 5)])
@@ -62,7 +62,7 @@ class TestLCPM:
         )
         lcp_cost = evaluate_cost(inst, LCPM().run(inst)).total
         online_cost = evaluate_cost(
-            inst, RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+            inst, RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(inst)
         ).total
         assert online_cost <= lcp_cost + 1e-6
 

@@ -97,12 +97,12 @@ class TestEmpiricalRatio:
 class TestBoundHolds:
     def test_online_cost_within_theorem1_bound(self, small_instance):
         """The realized ratio must respect the worst-case guarantee."""
-        from repro.core import OnlineConfig, RegularizedOnline
+        from repro.core import SubproblemConfig, RegularizedOnline
         from repro.model import evaluate_cost
         from repro.offline import solve_offline
 
         eps = 1e-2
-        on = RegularizedOnline(OnlineConfig(epsilon=eps)).run(small_instance)
+        on = RegularizedOnline(SubproblemConfig(epsilon=eps)).run(small_instance)
         off = solve_offline(small_instance)
         actual = evaluate_cost(small_instance, on).total / off.objective
         assert actual <= theorem1_ratio(small_instance.network, eps)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import OnlineConfig, RegularizedOnline, single_online_decay
+from repro.core import SubproblemConfig, RegularizedOnline, single_online_decay
 from repro.core.single import SingleResourceProblem
 from repro.model import Allocation, check_trajectory, evaluate_cost
 from repro.offline import solve_offline
@@ -13,13 +13,13 @@ from conftest import make_instance, make_network
 
 class TestFeasibility:
     def test_every_slot_feasible(self, small_instance):
-        traj = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(small_instance)
+        traj = RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(small_instance)
         rep = check_trajectory(small_instance, traj)
         assert rep.ok, rep.describe()
 
     def test_feasible_across_epsilons(self, small_instance):
         for eps in (1e-3, 1e-1, 10.0):
-            traj = RegularizedOnline(OnlineConfig(epsilon=eps)).run(small_instance)
+            traj = RegularizedOnline(SubproblemConfig(epsilon=eps)).run(small_instance)
             assert check_trajectory(small_instance, traj).ok
 
     def test_initial_state_respected(self, small_instance):
@@ -35,12 +35,12 @@ class TestFeasibility:
 
 class TestAgainstOffline:
     def test_cost_at_least_offline(self, small_instance):
-        on = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(small_instance)
+        on = RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(small_instance)
         off = solve_offline(small_instance)
         assert evaluate_cost(small_instance, on).total >= off.objective - 1e-6
 
     def test_ratio_reasonable_on_small_instance(self, small_instance):
-        on = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(small_instance)
+        on = RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(small_instance)
         off = solve_offline(small_instance)
         ratio = evaluate_cost(small_instance, on).total / off.objective
         assert ratio < 3.0  # the paper's empirical envelope
@@ -50,7 +50,7 @@ class TestScalarEquivalence:
     def test_matches_closed_form_on_single_edge(self, single_edge_instance):
         """On a 1x1 network with free links, P2(t) reduces to eq. (4)-(6)."""
         inst = single_edge_instance
-        traj = RegularizedOnline(OnlineConfig(epsilon=0.05)).run(inst)
+        traj = RegularizedOnline(SubproblemConfig(epsilon=0.05)).run(inst)
         X = traj.tier2_totals(inst.network)[:, 0]
 
         prob = SingleResourceProblem(
@@ -76,7 +76,7 @@ class TestDecayBehaviour:
             np.ones((T, small_network.n_tier2)),
             0.1 * np.ones((T, small_network.n_edges)),
         )
-        traj = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+        traj = RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(inst)
         cov = inst.network.aggregate_tier1(traj.s)
         np.testing.assert_allclose(cov, lam, rtol=1e-4, atol=1e-4)
 
@@ -94,7 +94,7 @@ class TestDecayBehaviour:
             np.ones((T, small_network.n_tier2)),
             0.1 * np.ones((T, small_network.n_edges)),
         )
-        traj = RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+        traj = RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(inst)
         total = traj.tier2_totals(inst.network).sum(axis=1)
         # Strictly decreasing but never an instant cliff to the floor.
         assert np.all(np.diff(total) < 1e-9)
@@ -114,8 +114,8 @@ class TestDecayBehaviour:
             np.ones((T, small_network.n_tier2)),
             0.1 * np.ones((T, small_network.n_edges)),
         )
-        slow = RegularizedOnline(OnlineConfig(epsilon=10.0)).run(inst)
-        fast = RegularizedOnline(OnlineConfig(epsilon=1e-3)).run(inst)
+        slow = RegularizedOnline(SubproblemConfig(epsilon=10.0)).run(inst)
+        fast = RegularizedOnline(SubproblemConfig(epsilon=1e-3)).run(inst)
         s_tot = slow.tier2_totals(inst.network).sum(axis=1)
         f_tot = fast.tier2_totals(inst.network).sum(axis=1)
         assert f_tot[-1] < s_tot[-1]
@@ -125,10 +125,10 @@ class TestBackends:
     def test_barrier_and_trust_constr_agree_end_to_end(self, small_instance):
         from repro.solvers import SolverOptions
 
-        cfg_b = OnlineConfig(
+        cfg_b = SubproblemConfig(
             epsilon=1e-2, solver=SolverOptions(backend="barrier", fallback=False)
         )
-        cfg_t = OnlineConfig(
+        cfg_t = SubproblemConfig(
             epsilon=1e-2, solver=SolverOptions(backend="trust-constr")
         )
         short = small_instance.slice(0, 6)
@@ -140,7 +140,7 @@ class TestBackends:
 class TestStepAPI:
     def test_step_matches_run_first_slot(self, small_instance):
         """The public single-step API agrees with the run loop."""
-        algo = RegularizedOnline(OnlineConfig(epsilon=1e-2))
+        algo = RegularizedOnline(SubproblemConfig(epsilon=1e-2))
         sub = algo.make_subproblem(small_instance)
         prev = Allocation.zeros(small_instance.network.n_edges)
         stepped = algo.step(sub, small_instance, 0, prev)

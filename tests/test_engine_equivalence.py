@@ -1,0 +1,86 @@
+"""Golden-value equivalence: engine-driven controllers vs. seed outputs.
+
+The values below were captured by running the pre-refactor (bespoke
+per-algorithm loop) code on a fixed-seed instance; every controller
+now runs through :class:`repro.engine.session.SolveSession` and must
+reproduce them.  Each tuple is
+``(total cost, x.sum(), y.sum(), s.sum())``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LCPM
+from repro.core import RegularizedOnline, SubproblemConfig
+from repro.model import evaluate_cost
+from repro.prediction import (
+    AveragingFixedHorizonControl,
+    FixedHorizonControl,
+    GaussianNoisePredictor,
+    RecedingHorizonControl,
+    RegularizedFixedHorizonControl,
+    RegularizedRecedingHorizonControl,
+)
+
+from conftest import make_instance, make_network
+from test_ntier import three_tier
+
+GOLDEN = {
+    "online": (499.46554274193863, 72.99514928934951, 78.01743114463983, 72.30054105133289),
+    "fhc3": (491.6872702502307, 71.35966071283181, 71.37116301379841, 71.35966071283181),
+    "rhc3": (491.2673400768774, 71.35966071283181, 71.37116301379841, 71.35966071283181),
+    "afhc3": (491.54919056366373, 71.35966071283181, 71.36732891347621, 71.35966071283181),
+    "rfhc3": (495.93224748094957, 72.67809587372543, 76.20223468775814, 72.12523820591707),
+    "rrhc3": (493.93238255141137, 71.92857601508686, 74.72499923656284, 71.6996590989462),
+    "rrhc3-noisy": (520.2124323619457, 76.13090459620292, 78.68621588090123, 75.86890063981079),
+    "lcp": (653.5168057588852, 78.0979375765983, 102.70158948004031, 72.54559327176155),
+}
+
+ALGOS = {
+    "online": lambda: RegularizedOnline(SubproblemConfig(epsilon=1e-2)),
+    "fhc3": lambda: FixedHorizonControl(3),
+    "rhc3": lambda: RecedingHorizonControl(3),
+    "afhc3": lambda: AveragingFixedHorizonControl(3),
+    "rfhc3": lambda: RegularizedFixedHorizonControl(3),
+    "rrhc3": lambda: RegularizedRecedingHorizonControl(3),
+    "rrhc3-noisy": lambda: RegularizedRecedingHorizonControl(
+        3, predictor=GaussianNoisePredictor(0.2, seed=3)
+    ),
+    "lcp": lambda: LCPM(),
+}
+
+
+@pytest.fixture(scope="module")
+def golden_instance():
+    net = make_network()
+    return make_instance(net, horizon=10, seed=7)
+
+
+@pytest.mark.parametrize("name", sorted(ALGOS))
+def test_two_tier_matches_seed_outputs(name, golden_instance):
+    traj = ALGOS[name]().run(golden_instance)
+    cost = evaluate_cost(golden_instance, traj).total
+    got = (cost, float(traj.x.sum()), float(traj.y.sum()), float(traj.s.sum()))
+    assert got == pytest.approx(GOLDEN[name], rel=1e-6)
+    # The engine attached per-step statistics along the way.
+    stats = traj.run_stats
+    assert stats.n_steps == golden_instance.horizon
+    assert stats.total_solves > 0
+
+
+def test_ntier_matches_seed_outputs():
+    from repro.ntier import NTierConfig, NTierRegularizedOnline
+
+    inst = three_tier(seed=2, T=8)
+    traj = NTierRegularizedOnline(NTierConfig(epsilon=1e-2)).run(inst)
+    got = (
+        inst.cost(traj),
+        float(traj.X.sum()),
+        float(traj.Y.sum()),
+        float(traj.s.sum()),
+    )
+    golden = (1259.676858088089, 85.02361454901916, 91.55459670797568, 37.17397679912838)
+    assert got == pytest.approx(golden, rel=1e-6)
+    assert traj.run_stats.n_steps == inst.horizon

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import OnlineConfig, RegularizedOnline
+from repro.core import SubproblemConfig, RegularizedOnline
 from repro.evaluation import (
     ExperimentScale,
     cost_over_time,
@@ -22,7 +22,7 @@ from conftest import make_instance, make_network
 
 class TestRunner:
     def test_run_algorithm_scores(self, small_instance):
-        res = run_algorithm("online", RegularizedOnline(OnlineConfig(epsilon=1e-2)),
+        res = run_algorithm("online", RegularizedOnline(SubproblemConfig(epsilon=1e-2)),
                             small_instance)
         assert res.feasible
         assert res.total > 0

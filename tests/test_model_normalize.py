@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import OnlineConfig, RegularizedOnline, theorem1_ratio
+from repro.core import SubproblemConfig, RegularizedOnline, theorem1_ratio
 from repro.model import (
     check_trajectory,
     denormalize_trajectory,
@@ -37,7 +37,7 @@ class TestNormalization:
 
     def test_denormalized_solution_feasible_and_equal_cost(self, small_instance):
         norm = normalize_instance(small_instance)
-        traj_n = RegularizedOnline(OnlineConfig(epsilon=1e-3)).run(norm.instance)
+        traj_n = RegularizedOnline(SubproblemConfig(epsilon=1e-3)).run(norm.instance)
         traj = denormalize_trajectory(traj_n, norm.scale)
         assert check_trajectory(small_instance, traj).ok
         c_orig_units = evaluate_cost(small_instance, traj).total
@@ -50,14 +50,14 @@ class TestNormalization:
         eps = 1e-2
         def ratio(inst):
             on = evaluate_cost(
-                inst, RegularizedOnline(OnlineConfig(epsilon=eps)).run(inst)
+                inst, RegularizedOnline(SubproblemConfig(epsilon=eps)).run(inst)
             ).total
             return on / solve_offline(inst).objective
         # Note: epsilon is *not* rescaled, so the algorithms differ
         # slightly; rescale epsilon to compare like for like.
         on_n = evaluate_cost(
             norm.instance,
-            RegularizedOnline(OnlineConfig(epsilon=eps / norm.scale)).run(norm.instance),
+            RegularizedOnline(SubproblemConfig(epsilon=eps / norm.scale)).run(norm.instance),
         ).total
         r_norm = on_n / solve_offline(norm.instance).objective
         r_orig = ratio(small_instance)

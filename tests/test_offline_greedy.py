@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import OnlineConfig, RegularizedOnline
+from repro.core import SubproblemConfig, RegularizedOnline
 from repro.model import Instance, check_trajectory, evaluate_cost
 from repro.offline import GreedyOneShot, solve_offline
 
@@ -34,7 +34,7 @@ class TestGreedy:
         )
         greedy_cost = evaluate_cost(inst, GreedyOneShot().run(inst)).total
         online_cost = evaluate_cost(
-            inst, RegularizedOnline(OnlineConfig(epsilon=1e-2)).run(inst)
+            inst, RegularizedOnline(SubproblemConfig(epsilon=1e-2)).run(inst)
         ).total
         off = solve_offline(inst).objective
         assert greedy_cost > online_cost > off - 1e-9

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import OnlineConfig, RegularizedOnline
+from repro.core import SubproblemConfig, RegularizedOnline
 from repro.prediction.chain import RegularizedChain
 from repro.prediction.predictors import ExactPredictor, GaussianNoisePredictor
 
@@ -13,7 +13,7 @@ from conftest import make_instance, make_network
 class TestChain:
     def test_matches_online_with_exact_predictions(self, small_instance):
         """With exact forecasts the chain IS the online trajectory."""
-        cfg = OnlineConfig(epsilon=1e-2)
+        cfg = SubproblemConfig(epsilon=1e-2)
         chain = RegularizedChain(small_instance, cfg, ExactPredictor())
         online = RegularizedOnline(cfg).run(small_instance)
         for t in (0, 3, small_instance.horizon - 1):
@@ -26,7 +26,7 @@ class TestChain:
 
     def test_lazy_extension(self, small_instance):
         chain = RegularizedChain(
-            small_instance, OnlineConfig(epsilon=1e-2), ExactPredictor()
+            small_instance, SubproblemConfig(epsilon=1e-2), ExactPredictor()
         )
         assert len(chain.entries) == 0
         chain.extend_to(2)
@@ -36,7 +36,7 @@ class TestChain:
 
     def test_out_of_range_rejected(self, small_instance):
         chain = RegularizedChain(
-            small_instance, OnlineConfig(epsilon=1e-2), ExactPredictor()
+            small_instance, SubproblemConfig(epsilon=1e-2), ExactPredictor()
         )
         with pytest.raises(ValueError):
             chain.extend_to(small_instance.horizon)
@@ -44,6 +44,6 @@ class TestChain:
     def test_noisy_chain_uses_frozen_forecasts(self, small_instance):
         """Indexing twice returns the same decision (frozen forecasts)."""
         pred = GaussianNoisePredictor(0.2, seed=5)
-        chain = RegularizedChain(small_instance, OnlineConfig(epsilon=1e-2), pred)
+        chain = RegularizedChain(small_instance, SubproblemConfig(epsilon=1e-2), pred)
         first = chain[2].x.copy()
         np.testing.assert_array_equal(chain[2].x, first)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import OnlineConfig, RegularizedOnline
+from repro.core import SubproblemConfig, RegularizedOnline
 from repro.model import check_trajectory, evaluate_cost
 from repro.offline import GreedyOneShot, solve_offline
 from repro.prediction import (
@@ -81,19 +81,19 @@ class TestDegenerateWindows:
         assert total(small_instance, fhc) == pytest.approx(off.objective, rel=1e-6)
 
     def test_rfhc_window_one_is_online(self, small_instance):
-        rfhc = RegularizedFixedHorizonControl(1, OnlineConfig(epsilon=EPS)).run(
+        rfhc = RegularizedFixedHorizonControl(1, SubproblemConfig(epsilon=EPS)).run(
             small_instance
         )
-        online = RegularizedOnline(OnlineConfig(epsilon=EPS)).run(small_instance)
+        online = RegularizedOnline(SubproblemConfig(epsilon=EPS)).run(small_instance)
         assert total(small_instance, rfhc) == pytest.approx(
             total(small_instance, online), rel=1e-4
         )
 
     def test_rrhc_window_one_is_online(self, small_instance):
-        rrhc = RegularizedRecedingHorizonControl(1, OnlineConfig(epsilon=EPS)).run(
+        rrhc = RegularizedRecedingHorizonControl(1, SubproblemConfig(epsilon=EPS)).run(
             small_instance
         )
-        online = RegularizedOnline(OnlineConfig(epsilon=EPS)).run(small_instance)
+        online = RegularizedOnline(SubproblemConfig(epsilon=EPS)).run(small_instance)
         assert total(small_instance, rrhc) == pytest.approx(
             total(small_instance, online), rel=1e-4
         )
@@ -106,11 +106,11 @@ class TestTheorem4:
     @pytest.mark.parametrize("window", [2, 4])
     def test_rfhc_upper_bounded_by_online(self, small_instance, window):
         online_cost = total(
-            small_instance, RegularizedOnline(OnlineConfig(epsilon=EPS)).run(small_instance)
+            small_instance, RegularizedOnline(SubproblemConfig(epsilon=EPS)).run(small_instance)
         )
         rfhc_cost = total(
             small_instance,
-            RegularizedFixedHorizonControl(window, OnlineConfig(epsilon=EPS)).run(
+            RegularizedFixedHorizonControl(window, SubproblemConfig(epsilon=EPS)).run(
                 small_instance
             ),
         )
@@ -119,11 +119,11 @@ class TestTheorem4:
     @pytest.mark.parametrize("window", [2, 4])
     def test_rrhc_upper_bounded_by_online(self, small_instance, window):
         online_cost = total(
-            small_instance, RegularizedOnline(OnlineConfig(epsilon=EPS)).run(small_instance)
+            small_instance, RegularizedOnline(SubproblemConfig(epsilon=EPS)).run(small_instance)
         )
         rrhc_cost = total(
             small_instance,
-            RegularizedRecedingHorizonControl(window, OnlineConfig(epsilon=EPS)).run(
+            RegularizedRecedingHorizonControl(window, SubproblemConfig(epsilon=EPS)).run(
                 small_instance
             ),
         )
@@ -170,7 +170,7 @@ class TestNoiseRobustness:
                 inst,
                 RegularizedFixedHorizonControl(
                     w,
-                    OnlineConfig(epsilon=1e-3),
+                    SubproblemConfig(epsilon=1e-3),
                     predictor=GaussianNoisePredictor(err, seed=seed),
                 ).run(inst),
             )
