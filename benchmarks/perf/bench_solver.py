@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Solver performance microbenchmarks -> ``BENCH_solver.json``.
+
+Measures the wall-time effect of the solver performance flags
+(:class:`~repro.core.subproblem.SubproblemConfig` ``fused_kernels`` and
+``reuse_structure``) on full :class:`~repro.core.online.RegularizedOnline`
+trajectories, plus kernel-level call timings of the fused
+:class:`~repro.solvers.convex.SeparableObjective` against its per-term
+loop reference.  The two configurations are solved in the *same run* on
+the *same instance*, and the fused kernels are bitwise identical to the
+loop reference (property-tested), so both take exactly the same Newton
+path — the speedup is pure per-iteration work, not a different
+trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_solver.py              # full suite
+    PYTHONPATH=src python benchmarks/perf/bench_solver.py --smoke      # CI-sized
+    PYTHONPATH=src python benchmarks/perf/bench_solver.py --out f.json --repeats 5
+
+Scenario scales:
+
+* ``small``  — :meth:`ExperimentScale.tiny` (3x5 clouds, 30 slots);
+* ``medium`` — the repo's default laptop scale (6x12 clouds, 96 slots,
+  ``k=2``), the scale the figure experiments run at.
+
+The JSON is self-describing (``schema`` key); every trajectory scenario
+records median wall time over ``--repeats`` runs, total Newton
+iterations, solve count, and warm-start hit rate for the baseline
+(flags off) and optimized (flags on, the default) configurations, plus
+their speedup ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+# ----------------------------------------------------------------------
+# Trajectory scenarios: flags off vs flags on, same instance, same run
+# ----------------------------------------------------------------------
+def _config_metrics(times: "list[float]", stats) -> dict:
+    """Summarize one configuration's repeated runs."""
+    return {
+        "wall_time_s": round(statistics.median(times), 4),
+        "wall_time_runs_s": [round(t, 4) for t in times],
+        "newton_iters": stats.total_newton_iters,
+        "solves": stats.total_solves,
+        "warm_start_hit_rate": round(stats.warm_hit_rate, 4),
+        "steps": stats.n_steps,
+    }
+
+
+def bench_trajectory(
+    name: str,
+    scale,
+    workload: str,
+    k: int,
+    epsilon: float,
+    repeats: int,
+) -> dict:
+    """Time RegularizedOnline with perf flags off vs on (defaults)."""
+    from repro.core.online import RegularizedOnline
+    from repro.core.subproblem import SubproblemConfig
+    from repro.evaluation.experiments import make_instance
+    from repro.evaluation.runner import run_algorithm
+
+    instance = make_instance(scale, workload, k=k)
+
+    def measure(**flags) -> dict:
+        times, stats = [], None
+        for _ in range(repeats):
+            cfg = SubproblemConfig(epsilon=epsilon, **flags)
+            result = run_algorithm("bench", RegularizedOnline(cfg), instance)
+            times.append(result.runtime)
+            stats = result.stats
+        return _config_metrics(times, stats)
+
+    baseline = measure(reuse_structure=False, fused_kernels=False)
+    optimized = measure()  # the defaults: reuse_structure=True, fused_kernels=True
+    return {
+        "name": name,
+        "kind": "trajectory",
+        "algorithm": "RegularizedOnline",
+        "workload": workload,
+        "scale": {
+            "n_tier2": scale.n_tier2,
+            "n_tier1": scale.n_tier1,
+            "horizon": scale.horizon_wiki
+            if workload == "wikipedia"
+            else scale.horizon_worldcup,
+            "k": k,
+        },
+        "epsilon": epsilon,
+        "repeats": repeats,
+        "baseline": baseline,
+        "optimized": optimized,
+        "speedup": round(baseline["wall_time_s"] / optimized["wall_time_s"], 3),
+        "same_newton_path": baseline["newton_iters"] == optimized["newton_iters"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Kernel scenario: fused vs loop objective evaluations on one program
+# ----------------------------------------------------------------------
+def bench_kernels(scale, workload: str, k: int, calls: int) -> dict:
+    """Per-call timings of the fused objective kernels vs the loop path."""
+    from repro.core.subproblem import RegularizedSubproblem, SubproblemConfig
+    from repro.evaluation.experiments import make_instance
+    from repro.model.allocation import Allocation
+
+    instance = make_instance(scale, workload, k=k)
+    sub = RegularizedSubproblem(
+        instance.network, SubproblemConfig(epsilon=1e-3, reuse_structure=False)
+    )
+    prog = sub.build(
+        instance.workload[0],
+        instance.tier2_price[0],
+        instance.link_price[0],
+        Allocation.zeros(instance.network.n_edges),
+    )
+    obj = prog.objective
+    v = prog._interior_start()
+
+    def per_call(fn) -> float:
+        fn(v)  # warm up scratch buffers / allocation paths
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn(v)
+        return (time.perf_counter() - start) / calls
+
+    timings = {}
+    for kernel in ("value", "grad", "hess_diag"):
+        obj.fused = True
+        fused_t = per_call(getattr(obj, kernel))
+        loop_t = per_call(getattr(obj, f"_{kernel}_loop"))
+        timings[kernel] = {
+            "fused_us": round(fused_t * 1e6, 2),
+            "loop_us": round(loop_t * 1e6, 2),
+            "speedup": round(loop_t / fused_t, 2),
+        }
+    obj.fused = True
+    return {
+        "name": "kernels",
+        "kind": "microbench",
+        "n_vars": prog.objective.n,
+        "n_entropic_terms": len(obj.entropic),
+        "calls": calls,
+        "kernels": timings,
+    }
+
+
+# ----------------------------------------------------------------------
+def run(repeats: int, smoke: bool) -> dict:
+    from repro.evaluation.scale import ExperimentScale
+
+    tiny = ExperimentScale.tiny()
+    scenarios = [
+        bench_kernels(tiny if smoke else ExperimentScale.from_env(),
+                      "wikipedia", k=2, calls=50 if smoke else 500),
+        bench_trajectory(
+            "small", tiny, "wikipedia", k=1, epsilon=1e-3,
+            repeats=1 if smoke else repeats,
+        ),
+    ]
+    if not smoke:
+        scenarios.append(
+            bench_trajectory(
+                "medium", ExperimentScale.from_env(), "wikipedia",
+                k=2, epsilon=1e-2, repeats=repeats,
+            )
+        )
+    return {
+        "schema": "repro-bench-solver/v1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "smoke": smoke,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "scenarios": scenarios,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_solver.json",
+        help="output path (default: repo-root BENCH_solver.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per configuration; the median is reported",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny-scale single-repeat run for CI (valid JSON, no "
+        "speedup threshold)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args.repeats, args.smoke)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for sc in report["scenarios"]:
+        if sc["kind"] == "trajectory":
+            print(
+                f"{sc['name']:8s} baseline {sc['baseline']['wall_time_s']:.3f}s"
+                f" -> optimized {sc['optimized']['wall_time_s']:.3f}s"
+                f"  ({sc['speedup']:.2f}x, same Newton path:"
+                f" {sc['same_newton_path']})"
+            )
+        else:
+            parts = ", ".join(
+                f"{k} {t['speedup']:.1f}x" for k, t in sc["kernels"].items()
+            )
+            print(f"{sc['name']:8s} per-call fused vs loop: {parts}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

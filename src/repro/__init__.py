@@ -70,12 +70,12 @@ __version__ = "1.0.0"
 
 
 def __getattr__(name: str):
-    # Deprecated alias of SubproblemConfig; kept importable for one
-    # release (the warning fires lazily, on first use).
     if name == "OnlineConfig":
-        from repro.core import online
-
-        return online.OnlineConfig
+        # Deprecated alias removed after its one-release grace period.
+        raise AttributeError(
+            "OnlineConfig was removed; use SubproblemConfig "
+            "(from repro import SubproblemConfig)"
+        )
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -89,7 +89,6 @@ __all__ = [
     "evaluate_cost",
     "check_trajectory",
     "RegularizedOnline",
-    "OnlineConfig",
     "SubproblemConfig",
     "SlotData",
     "SolveSession",

@@ -20,22 +20,30 @@ import time
 from repro.evaluation import ExperimentScale, experiments
 
 
-def _registry(scale: ExperimentScale):
+def _registry(scale: ExperimentScale, jobs: "int | None" = None):
     windows = (2, 4, 6, 8, 10) if scale.full else (2, 4, 6)
     return {
         "table1": lambda a: experiments.table1_electricity(),
         "table2": lambda a: experiments.table2_bandwidth(),
         "fig4": lambda a: experiments.fig4_workloads(scale),
-        "fig5": lambda a: experiments.fig5_cost_no_prediction(scale, a.workload),
-        "fig6": lambda a: experiments.fig6_ratio_vs_epsilon(scale, a.workload),
-        "fig7": lambda a: experiments.fig7_sla(scale, a.workload, lcp_lookback=12),
+        "fig5": lambda a: experiments.fig5_cost_no_prediction(
+            scale, a.workload, jobs=jobs
+        ),
+        "fig6": lambda a: experiments.fig6_ratio_vs_epsilon(
+            scale, a.workload, jobs=jobs
+        ),
+        "fig7": lambda a: experiments.fig7_sla(
+            scale, a.workload, lcp_lookback=12, jobs=jobs
+        ),
         "fig8": lambda a: experiments.fig8_prediction_window(
-            scale, a.workload, windows=windows
+            scale, a.workload, windows=windows, jobs=jobs
         ),
         "fig9": lambda a: experiments.fig9_noisy_prediction(
-            scale, a.workload, windows=windows
+            scale, a.workload, windows=windows, jobs=jobs
         ),
-        "fig10": lambda a: experiments.fig10_error_sweep(scale, a.workload),
+        "fig10": lambda a: experiments.fig10_error_sweep(
+            scale, a.workload, jobs=jobs
+        ),
         "thm23": lambda a: experiments.theorem23_adversarial(),
         "ntier": lambda a: experiments.ntier_generalization(
             horizon=48 if scale.full else 24
@@ -75,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-step solver statistics (wall time, Newton "
         "iterations, warm-start hit rate) for each algorithm run",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run sweep points on N worker processes (results and "
+        "--stats output are identical to a serial run)",
+    )
     return parser
 
 
@@ -92,7 +108,7 @@ def main(argv: "list[str] | None" = None) -> int:
         if getattr(args, "full", False)
         else ExperimentScale.from_env()
     )
-    registry = _registry(scale)
+    registry = _registry(scale, jobs=getattr(args, "jobs", None))
     if args.experiment == "all":
         names = list(registry)
     elif args.experiment in registry:

@@ -33,7 +33,6 @@ __all__ = [
     "RegularizedSubproblem",
     "SubproblemConfig",
     "RegularizedOnline",
-    "OnlineConfig",
     "SingleResourceProblem",
     "single_online_decay",
     "single_greedy",
@@ -49,11 +48,10 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # Deprecated alias kept for one release; the documented config type
-    # is SubproblemConfig (see repro.engine).  Resolved lazily so the
-    # DeprecationWarning fires at use, not at package import.
     if name == "OnlineConfig":
-        from repro.core import online
-
-        return online.OnlineConfig
+        # Deprecated alias removed after its one-release grace period.
+        raise AttributeError(
+            "OnlineConfig was removed; use SubproblemConfig "
+            "(from repro.core import SubproblemConfig)"
+        )
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,15 +20,13 @@ driven slot-at-a-time from live data::
     session = SolveSession(RegularizedOnline(config), network)
     decision = session.step(SlotData(workload, tier2_price, link_price))
 
-The documented config type is
+The config type is
 :class:`~repro.core.subproblem.SubproblemConfig` (re-exported by
-:mod:`repro.engine`); ``OnlineConfig`` remains as a deprecated alias
-for one release.
+:mod:`repro.engine`).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,14 +40,11 @@ from repro.model.instance import Instance
 
 def __getattr__(name: str):
     if name == "OnlineConfig":
-        warnings.warn(
-            "OnlineConfig is a deprecated alias of SubproblemConfig; "
-            "import SubproblemConfig from repro.engine (or "
-            "repro.core.subproblem) instead",
-            DeprecationWarning,
-            stacklevel=2,
+        # Deprecated alias removed after its one-release grace period.
+        raise AttributeError(
+            "OnlineConfig was removed; use SubproblemConfig "
+            "(from repro.core.subproblem import SubproblemConfig)"
         )
-        return SubproblemConfig
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -74,6 +74,17 @@ class SubproblemConfig:
         disabling them is exposed for ablation studies.
     solver:
         Options forwarded to the convex solver.
+    reuse_structure:
+        Cache the compiled convex program (constraint matrix, objective
+        arrays, barrier workspace, phase-I point) per constraint
+        structure and update only the per-slot data — right-hand side,
+        linear costs, regularizer anchors — between slots.  Disable to
+        rebuild everything every slot (the measured perf baseline, see
+        ``benchmarks/perf/``).
+    fused_kernels:
+        Use the fused objective kernels
+        (:class:`~repro.solvers.convex.SeparableObjective` with
+        ``fused=True``); disable for the per-term loop reference.
     """
 
     epsilon: float = 1e-2
@@ -81,6 +92,8 @@ class SubproblemConfig:
     capacity_caps: bool = True
     hedging: bool = True
     solver: SolverOptions = field(default_factory=SolverOptions)
+    reuse_structure: bool = True
+    fused_kernels: bool = True
 
     def __post_init__(self) -> None:
         if not (self.epsilon > 0):
@@ -121,6 +134,8 @@ class RegularizedSubproblem:
 
         self._A_static = self._build_static_rows()
         self._bounds = self._build_bounds()
+        # Compiled programs keyed by hedging keep-pattern; see build().
+        self._slot_cache: dict[tuple[bytes, bytes], SmoothConvexProgram] = {}
 
     # ------------------------------------------------------------------
     # Constraint assembly
@@ -200,18 +215,95 @@ class RegularizedSubproblem:
         previous:
             The previous slot's decision (edge space); its tier-2
             totals anchor the regularizers.
+
+        With ``config.reuse_structure`` (the default) programs are
+        cached per hedging keep-pattern — the only thing that changes
+        the constraint *structure* across slots — and subsequent slots
+        with the same pattern get the **same (mutated) program object**
+        with only ``b``, the linear costs, and the entropic anchors
+        rewritten.  This keeps the compiled objective arrays, the
+        barrier workspace (``A^T``, Hessian buffers, sparse symbolic
+        structure) and the cached phase-I interior point alive across
+        slots.  Callers must therefore not hold a built program across
+        a later ``build()`` call expecting it to stay frozen; set
+        ``reuse_structure=False`` for that (perf-baseline) behaviour.
         """
         net = self.network
         cfg = self.config
         n_i, n_e = net.n_tier2, net.n_edges
         workload = np.asarray(workload, dtype=float)
 
+        X_prev = previous.tier2_totals(net)
+        y_prev = np.asarray(previous.y, dtype=float)
+
+        rhs_x = rhs_y = None
+        keep_x = keep_y = None
+        if cfg.hedging:
+            total = float(workload.sum())
+            rhs_x = np.maximum(total - net.tier2_capacity, 0.0)
+            keep_x = rhs_x > 0
+            lam_e = workload[net.edge_j]
+            rhs_y = np.maximum(lam_e - net.edge_capacity, 0.0)
+            keep_y = rhs_y > 0
+
+        if not cfg.reuse_structure:
+            return self._assemble(
+                workload, tier2_price, link_price, X_prev, y_prev,
+                rhs_x, keep_x, rhs_y, keep_y,
+            )
+
+        key = (
+            keep_x.tobytes() if keep_x is not None else b"",
+            keep_y.tobytes() if keep_y is not None else b"",
+        )
+        prog = self._slot_cache.get(key)
+        if prog is None:
+            prog = self._assemble(
+                workload, tier2_price, link_price, X_prev, y_prev,
+                rhs_x, keep_x, rhs_y, keep_y,
+            )
+            self._slot_cache[key] = prog
+            return prog
+
+        # Cache hit: same structure, new slot data — update in place.
+        linear = prog.objective.linear
+        linear[self.sl_X] = tier2_price
+        linear[self.sl_y] = link_price
+        prog.objective.set_slot_data(refs=[X_prev, y_prev])
+        b = prog.b
+        n_j = net.n_tier1
+        np.negative(workload, out=b[n_e : n_e + n_j])
+        off = n_e + n_j + n_i
+        if keep_x is not None and np.any(keep_x):
+            kx = int(np.count_nonzero(keep_x))
+            np.negative(rhs_x[keep_x], out=b[off : off + kx])
+            off += kx
+        if keep_y is not None and np.any(keep_y):
+            ky = int(np.count_nonzero(keep_y))
+            np.negative(rhs_y[keep_y], out=b[off : off + ky])
+        return prog
+
+    def _assemble(
+        self,
+        workload: np.ndarray,
+        tier2_price: np.ndarray,
+        link_price: np.ndarray,
+        X_prev: np.ndarray,
+        y_prev: np.ndarray,
+        rhs_x: "np.ndarray | None",
+        keep_x: "np.ndarray | None",
+        rhs_y: "np.ndarray | None",
+        keep_y: "np.ndarray | None",
+    ) -> SmoothConvexProgram:
+        """Compile a fresh program for one hedging keep-pattern."""
+        net = self.network
+        cfg = self.config
+        n_i, n_e = net.n_tier2, net.n_edges
+
         linear = np.zeros(self.n_vars)
         linear[self.sl_X] = tier2_price
         linear[self.sl_y] = link_price
 
-        X_prev = previous.tier2_totals(net)
-        y_prev = np.asarray(previous.y, dtype=float)
         entropic = [
             EntropicTerm(
                 indices=np.arange(n_i),
@@ -226,25 +318,20 @@ class RegularizedSubproblem:
                 ref=y_prev,
             ),
         ]
-        objective = SeparableObjective(self.n_vars, linear, entropic)
+        objective = SeparableObjective(
+            self.n_vars, linear, entropic, fused=cfg.fused_kernels
+        )
 
         A_parts = [self._A_static["s_le_y"], self._A_static["coverage"],
                    self._A_static["s_le_X"]]
         b_parts = [np.zeros(n_e), -workload, np.zeros(n_i)]
 
-        if cfg.hedging:
-            total = float(workload.sum())
-            rhs_x = np.maximum(total - net.tier2_capacity, 0.0)
-            keep = rhs_x > 0
-            if np.any(keep):
-                A_parts.append(self._A_static["hedge_x"][keep])
-                b_parts.append(-rhs_x[keep])
-            lam_e = workload[net.edge_j]
-            rhs_y = np.maximum(lam_e - net.edge_capacity, 0.0)
-            keep = rhs_y > 0
-            if np.any(keep):
-                A_parts.append(self._A_static["hedge_y"][keep])
-                b_parts.append(-rhs_y[keep])
+        if keep_x is not None and np.any(keep_x):
+            A_parts.append(self._A_static["hedge_x"][keep_x])
+            b_parts.append(-rhs_x[keep_x])
+        if keep_y is not None and np.any(keep_y):
+            A_parts.append(self._A_static["hedge_y"][keep_y])
+            b_parts.append(-rhs_y[keep_y])
 
         A = sp.vstack(A_parts, format="csr")
         b = np.concatenate(b_parts)

@@ -13,8 +13,7 @@ The engine re-exports the one documented config type per algorithm
 family:
 
 * :class:`SubproblemConfig` — the two-tier regularized algorithms
-  (``RegularizedOnline``, the chain, RFHC/RRHC).  ``OnlineConfig`` in
-  :mod:`repro.core.online` is a deprecated alias.
+  (``RegularizedOnline``, the chain, RFHC/RRHC).
 * :class:`NTierConfig` — the N-tier regularized online algorithm.
 * :class:`SolverOptions` — the convex-solver backend knobs embedded in
   both.

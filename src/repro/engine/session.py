@@ -147,11 +147,19 @@ class SolveSession:
         self.t = 0
         self._steps: list = []
         self._step_stats: "list[StepStats]" = []
+        # The state owns every structure reused across slots — the
+        # subproblem's compiled convex programs (constraint matrix,
+        # fused objective arrays, barrier workspace, phase-I point, see
+        # RegularizedSubproblem.build) and warm-start vectors — so a
+        # long-lived session amortizes all of it; only per-slot data
+        # (b, prices, regularizer anchors) is rewritten per step.  The
+        # probe is fixed for the state's lifetime; resolve it once.
+        self._probe: "StatsProbe | None" = getattr(self.state, "probe", None)
 
     # ------------------------------------------------------------------
     def step(self, slot: SlotData) -> Any:
         """Decide one slot from streamed data and advance the session."""
-        probe: "StatsProbe | None" = getattr(self.state, "probe", None)
+        probe = self._probe
         with Timer() as timer:
             decision = self.controller.decide(self.state, self.t, slot)
         records = probe.drain() if probe is not None else []

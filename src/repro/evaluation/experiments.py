@@ -16,6 +16,7 @@ from repro.core.competitive import empirical_ratio, theorem1_ratio
 from repro.core.online import RegularizedOnline
 from repro.core.subproblem import SubproblemConfig
 from repro.evaluation.metrics import normalized_costs
+from repro.evaluation.parallel import parallel_map
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.runner import (
     OfflineOracle,
@@ -138,41 +139,55 @@ def fig4_workloads(scale: "ExperimentScale | None" = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Fig 5 — cost over time without prediction
 # ----------------------------------------------------------------------
+def _fig5_point(args) -> "tuple[tuple, dict[str, np.ndarray]]":
+    """One Fig-5 grid point (a reconfiguration weight); picklable."""
+    scale, workload, b, epsilon, k = args
+    instance = make_instance(scale, workload, k=k, recon_weight=b)
+    results = run_suite(
+        instance,
+        {
+            "one-shot": _Greedy(),
+            "online": RegularizedOnline(SubproblemConfig(epsilon=epsilon)),
+            "offline": OfflineOracle(),
+        },
+    )
+    norm = normalized_costs(results, reference="offline")
+    row = (
+        workload,
+        b,
+        results["one-shot"].total,
+        results["online"].total,
+        results["offline"].total,
+        norm["one-shot"],
+        norm["online"],
+    )
+    series = {
+        f"b={b:g}/{name}/cumulative": r.cost.cumulative
+        for name, r in results.items()
+    }
+    return row, series
+
+
 def fig5_cost_no_prediction(
     scale: "ExperimentScale | None" = None,
     workload: str = "wikipedia",
     recon_weights: "tuple[float, ...]" = (10.0, 1e2, 1e3, 1e4),
     epsilon: float = 1e-2,
     k: int = 1,
+    jobs: "int | None" = None,
 ) -> ExperimentResult:
     """Fig 5: greedy vs online vs offline, across reconfiguration prices."""
     scale = scale or ExperimentScale.from_env()
+    points = parallel_map(
+        _fig5_point,
+        [(scale, workload, b, epsilon, k) for b in recon_weights],
+        jobs=jobs,
+    )
     rows = []
     series: dict[str, np.ndarray] = {}
-    for b in recon_weights:
-        instance = make_instance(scale, workload, k=k, recon_weight=b)
-        results = run_suite(
-            instance,
-            {
-                "one-shot": _Greedy(),
-                "online": RegularizedOnline(SubproblemConfig(epsilon=epsilon)),
-                "offline": OfflineOracle(),
-            },
-        )
-        norm = normalized_costs(results, reference="offline")
-        rows.append(
-            (
-                workload,
-                b,
-                results["one-shot"].total,
-                results["online"].total,
-                results["offline"].total,
-                norm["one-shot"],
-                norm["online"],
-            )
-        )
-        for name, r in results.items():
-            series[f"b={b:g}/{name}/cumulative"] = r.cost.cumulative
+    for row, point_series in points:
+        rows.append(row)
+        series.update(point_series)
     return ExperimentResult(
         name=f"fig5/{workload}",
         headers=[
@@ -197,34 +212,48 @@ def fig5_cost_no_prediction(
 # ----------------------------------------------------------------------
 # Fig 6 — actual competitive ratio vs epsilon
 # ----------------------------------------------------------------------
+def _fig6_point(args) -> "list[tuple]":
+    """One Fig-6 recon-weight point: the offline solve is shared by
+    the whole epsilon sweep, so the grid parallelizes over ``b``."""
+    scale, workload, b, epsilons, k = args
+    instance = make_instance(scale, workload, k=k, recon_weight=b)
+    offline = run_algorithm("offline", OfflineOracle(), instance)
+    rows = []
+    for eps in epsilons:
+        online = run_algorithm(
+            "online",
+            RegularizedOnline(SubproblemConfig(epsilon=eps)),
+            instance,
+        )
+        rows.append(
+            (
+                workload,
+                b,
+                eps,
+                empirical_ratio(online.total, offline.total),
+                theorem1_ratio(instance.network, eps),
+            )
+        )
+    return rows
+
+
 def fig6_ratio_vs_epsilon(
     scale: "ExperimentScale | None" = None,
     workload: str = "wikipedia",
     epsilons: "tuple[float, ...]" = (1e-3, 1e-2, 1e-1, 1.0, 10.0, 1e2, 1e3),
     recon_weights: "tuple[float, ...]" = (1e2, 1e3, 1e4),
     k: int = 1,
+    jobs: "int | None" = None,
 ) -> ExperimentResult:
     """Fig 6: empirical ratio vs epsilon, with the Theorem-1 bound."""
     scale = scale or ExperimentScale.from_env()
     rows = []
-    for b in recon_weights:
-        instance = make_instance(scale, workload, k=k, recon_weight=b)
-        offline = run_algorithm("offline", OfflineOracle(), instance)
-        for eps in epsilons:
-            online = run_algorithm(
-                "online",
-                RegularizedOnline(SubproblemConfig(epsilon=eps)),
-                instance,
-            )
-            rows.append(
-                (
-                    workload,
-                    b,
-                    eps,
-                    empirical_ratio(online.total, offline.total),
-                    theorem1_ratio(instance.network, eps),
-                )
-            )
+    for point_rows in parallel_map(
+        _fig6_point,
+        [(scale, workload, b, epsilons, k) for b in recon_weights],
+        jobs=jobs,
+    ):
+        rows.extend(point_rows)
     return ExperimentResult(
         name=f"fig6/{workload}",
         headers=["workload", "recon_weight", "epsilon", "actual_ratio", "thm1_bound"],
@@ -240,6 +269,29 @@ def fig6_ratio_vs_epsilon(
 # ----------------------------------------------------------------------
 # Fig 7 — SLA size sweep (k) incl. LCP-M
 # ----------------------------------------------------------------------
+def _fig7_point(args) -> tuple:
+    """One Fig-7 SLA-size point; picklable."""
+    scale, workload, k, recon_weight, epsilon, lcp_lookback = args
+    instance = make_instance(scale, workload, k=k, recon_weight=recon_weight)
+    results = run_suite(
+        instance,
+        {
+            "one-shot": _Greedy(),
+            "online": RegularizedOnline(SubproblemConfig(epsilon=epsilon)),
+            "lcp-m": LCPM(lookback=lcp_lookback),
+            "offline": OfflineOracle(),
+        },
+    )
+    norm = normalized_costs(results, reference="offline")
+    return (
+        k,
+        norm["one-shot"],
+        norm["online"],
+        norm["lcp-m"],
+        results["offline"].total,
+    )
+
+
 def fig7_sla(
     scale: "ExperimentScale | None" = None,
     workload: str = "wikipedia",
@@ -247,31 +299,15 @@ def fig7_sla(
     recon_weight: float = 1e3,
     epsilon: float = 1e-2,
     lcp_lookback: "int | None" = 24,
+    jobs: "int | None" = None,
 ) -> ExperimentResult:
     """Fig 7: total cost vs SLA size k, including the LCP-M baseline."""
     scale = scale or ExperimentScale.from_env()
-    rows = []
-    for k in ks:
-        instance = make_instance(scale, workload, k=k, recon_weight=recon_weight)
-        results = run_suite(
-            instance,
-            {
-                "one-shot": _Greedy(),
-                "online": RegularizedOnline(SubproblemConfig(epsilon=epsilon)),
-                "lcp-m": LCPM(lookback=lcp_lookback),
-                "offline": OfflineOracle(),
-            },
-        )
-        norm = normalized_costs(results, reference="offline")
-        rows.append(
-            (
-                k,
-                norm["one-shot"],
-                norm["online"],
-                norm["lcp-m"],
-                results["offline"].total,
-            )
-        )
+    rows = parallel_map(
+        _fig7_point,
+        [(scale, workload, k, recon_weight, epsilon, lcp_lookback) for k in ks],
+        jobs=jobs,
+    )
     return ExperimentResult(
         name=f"fig7/{workload}",
         headers=["k", "one_shot/offline", "online/offline", "lcpm/offline", "cost_offline"],
@@ -306,6 +342,21 @@ def _predictive_suite(window: int, epsilon: float, error: float, seed: int):
     }
 
 
+def _fig8_point(args) -> tuple:
+    """One Fig-8/9 window point; the offline/online anchor totals are
+    solved once in the parent and shipped in as floats."""
+    instance, w, epsilon, error, seed, offline_total, online_total = args
+    results = run_suite(instance, _predictive_suite(w, epsilon, error, seed))
+    return (
+        w,
+        results["fhc"].total / offline_total,
+        results["rhc"].total / offline_total,
+        results["rfhc"].total / offline_total,
+        results["rrhc"].total / offline_total,
+        online_total / offline_total,
+    )
+
+
 def fig8_prediction_window(
     scale: "ExperimentScale | None" = None,
     workload: str = "wikipedia",
@@ -315,6 +366,7 @@ def fig8_prediction_window(
     k: int = 1,
     error: float = 0.0,
     seed: int = 7,
+    jobs: "int | None" = None,
 ) -> ExperimentResult:
     """Fig 8 (error=0) / Fig 9 (error=0.15): cost vs prediction window."""
     scale = scale or ExperimentScale.from_env()
@@ -323,19 +375,14 @@ def fig8_prediction_window(
     online = run_algorithm(
         "online", RegularizedOnline(SubproblemConfig(epsilon=epsilon)), instance
     )
-    rows = []
-    for w in windows:
-        results = run_suite(instance, _predictive_suite(w, epsilon, error, seed))
-        rows.append(
-            (
-                w,
-                results["fhc"].total / offline.total,
-                results["rhc"].total / offline.total,
-                results["rfhc"].total / offline.total,
-                results["rrhc"].total / offline.total,
-                online.total / offline.total,
-            )
-        )
+    rows = parallel_map(
+        _fig8_point,
+        [
+            (instance, w, epsilon, error, seed, offline.total, online.total)
+            for w in windows
+        ],
+        jobs=jobs,
+    )
     tag = "fig9" if error > 0 else "fig8"
     return ExperimentResult(
         name=f"{tag}/{workload}/error={error:g}",
@@ -363,6 +410,20 @@ def fig9_noisy_prediction(
     )
 
 
+def _fig10_point(args) -> tuple:
+    """One Fig-10 error-rate point; picklable."""
+    instance, window, epsilon, error, seed, offline_total, online_total = args
+    results = run_suite(instance, _predictive_suite(window, epsilon, error, seed))
+    return (
+        error,
+        results["fhc"].total / offline_total,
+        results["rhc"].total / offline_total,
+        results["rfhc"].total / offline_total,
+        results["rrhc"].total / offline_total,
+        online_total / offline_total,
+    )
+
+
 def fig10_error_sweep(
     scale: "ExperimentScale | None" = None,
     workload: str = "wikipedia",
@@ -372,6 +433,7 @@ def fig10_error_sweep(
     epsilon: float = 1e-3,
     k: int = 1,
     seed: int = 7,
+    jobs: "int | None" = None,
 ) -> ExperimentResult:
     """Fig 10: cost vs prediction error at a fixed (short) window."""
     scale = scale or ExperimentScale.from_env()
@@ -380,19 +442,14 @@ def fig10_error_sweep(
     online = run_algorithm(
         "online", RegularizedOnline(SubproblemConfig(epsilon=epsilon)), instance
     )
-    rows = []
-    for error in errors:
-        results = run_suite(instance, _predictive_suite(window, epsilon, error, seed))
-        rows.append(
-            (
-                error,
-                results["fhc"].total / offline.total,
-                results["rhc"].total / offline.total,
-                results["rfhc"].total / offline.total,
-                results["rrhc"].total / offline.total,
-                online.total / offline.total,
-            )
-        )
+    rows = parallel_map(
+        _fig10_point,
+        [
+            (instance, window, epsilon, error, seed, offline.total, online.total)
+            for error in errors
+        ],
+        jobs=jobs,
+    )
     return ExperimentResult(
         name=f"fig10/{workload}/w={window}",
         headers=["error", "fhc", "rhc", "rfhc", "rrhc", "online_no_pred"],

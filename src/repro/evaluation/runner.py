@@ -46,6 +46,18 @@ class StatsCollector:
         if self.enabled:
             self.records.append((name, stats))
 
+    def merge(self, records: "list[tuple[str, RunStats]]") -> None:
+        """Append records collected in another process.
+
+        The parallel sweep runner (:mod:`repro.evaluation.parallel`)
+        runs points in worker processes whose own module-global
+        collector gathers that point's records; the parent merges them
+        back **in submission order**, so ``--stats --jobs N`` output is
+        identical to a serial run.
+        """
+        if self.enabled:
+            self.records.extend(records)
+
 
 #: Process-wide collector the CLI's ``--stats`` flag switches on.
 stats_collector = StatsCollector()

@@ -70,6 +70,79 @@ def test_warm_start_does_not_change_optimum(seed, n):
     )
 
 
+def random_objective_pair(seed: int, n: int, n_terms: int):
+    """The same random objective compiled fused and as the term loop.
+
+    Entropic terms draw both contiguous index ranges and random index
+    vectors *with duplicates*, so overlapping terms and repeated
+    indices within one term — the cases where the fused gather/scatter
+    could diverge from per-term accumulation — are always exercised.
+    """
+    rng = np.random.default_rng(seed)
+    linear = rng.standard_normal(n)
+    terms = []
+    for _ in range(n_terms):
+        k = int(rng.integers(1, n + 1))
+        if rng.random() < 0.5:
+            lo = int(rng.integers(0, n - k + 1))
+            idx = np.arange(lo, lo + k)
+        else:
+            idx = rng.integers(0, n, size=k)  # duplicates allowed
+        terms.append(
+            EntropicTerm(
+                indices=idx,
+                weight=rng.random(k) * 10.0,
+                eps=rng.random(k) + 1e-3,
+                ref=rng.random(k) * 5.0,
+            )
+        )
+    copies = [
+        EntropicTerm(t.indices.copy(), t.weight.copy(), t.eps.copy(), t.ref.copy())
+        for t in terms
+    ]
+    fused = SeparableObjective(n, linear, copies, fused=True)
+    loop = SeparableObjective(n, linear, terms, fused=False)
+    return rng, fused, loop
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(3, 40),
+    n_terms=st.integers(1, 4),
+)
+def test_fused_kernels_bitwise_match_loop_reference(seed, n, n_terms):
+    """Fused value/grad/hess_diag == per-term loop, bit for bit.
+
+    Bitwise (not approximate) equality is what guarantees the barrier
+    takes the identical Newton path under either kernel set — ulp-level
+    drift perturbs the line search at large tau and costs iterations
+    (and would make the perf benchmark compare different trajectories).
+    """
+    rng, fused, loop = random_objective_pair(seed, n, n_terms)
+    for _ in range(5):
+        v = rng.random(n) * 8.0
+        assert fused.value(v) == loop.value(v)
+        assert np.array_equal(fused.grad(v), loop.grad(v))
+        assert np.array_equal(fused.hess_diag(v), loop.hess_diag(v))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(3, 20))
+def test_fused_kernels_match_after_slot_update(seed, n):
+    """Bitwise parity survives in-place per-slot data updates."""
+    rng, fused, loop = random_objective_pair(seed, n, 2)
+    new_linear = rng.standard_normal(n)
+    new_refs = [rng.random(t.indices.size) * 5.0 for t in loop.entropic]
+    fused.set_slot_data(linear=new_linear, refs=[r.copy() for r in new_refs])
+    loop.set_slot_data(linear=new_linear, refs=new_refs)
+    for _ in range(3):
+        v = rng.random(n) * 8.0
+        assert fused.value(v) == loop.value(v)
+        assert np.array_equal(fused.grad(v), loop.grad(v))
+        assert np.array_equal(fused.hess_diag(v), loop.hess_diag(v))
+
+
 @settings(max_examples=25, deadline=None)
 @given(seed=st.integers(0, 10_000), n=st.integers(2, 10))
 def test_optimum_invariant_to_row_scaling(seed, n):

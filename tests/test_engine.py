@@ -210,12 +210,22 @@ class TestSplitEdgelessCloud:
         assert np.all(np.isfinite(traj.s))
 
 
-class TestDeprecatedOnlineConfig:
-    def test_alias_warns_and_resolves(self):
+class TestRemovedOnlineConfig:
+    def test_alias_is_gone_with_pointer_message(self):
         import repro
         import repro.core
+        import repro.core.online
 
-        with pytest.warns(DeprecationWarning, match="SubproblemConfig"):
-            assert repro.core.OnlineConfig is SubproblemConfig
-        with pytest.warns(DeprecationWarning):
-            assert repro.OnlineConfig is SubproblemConfig
+        for module in (repro, repro.core, repro.core.online):
+            with pytest.raises(AttributeError, match="SubproblemConfig"):
+                module.OnlineConfig
+
+    def test_import_raises_import_error(self):
+        with pytest.raises(ImportError, match="OnlineConfig"):
+            from repro import OnlineConfig  # noqa: F401
+
+    def test_unknown_attribute_still_plain(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.NoSuchThing

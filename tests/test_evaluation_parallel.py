@@ -1,0 +1,106 @@
+"""The deterministic parallel sweep runner (repro.evaluation.parallel)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.stats import RunStats, StepStats
+from repro.evaluation.parallel import parallel_map, run_sweep
+from repro.evaluation.runner import stats_collector
+
+
+# Workers must be module-level (picklable under ProcessPoolExecutor).
+def _square(x):
+    return x * x
+
+
+def _slow_inverse(x):
+    # Later items finish first: exposes any completion-order dependence.
+    time.sleep(0.05 * (4 - x))
+    return x
+
+
+def _draw(x):
+    # Depends on the per-point seed planted by the runner.
+    return float(np.random.random()) + x
+
+
+def _recording(x):
+    stats = RunStats([StepStats(t=0, wall_time=0.0, n_solves=x)])
+    stats_collector.add(f"point-{x}", stats)
+    return x
+
+
+@pytest.fixture(autouse=True)
+def _clean_collector():
+    stats_collector.disable()
+    stats_collector.records = []
+    yield
+    stats_collector.disable()
+    stats_collector.records = []
+
+
+class TestParallelMap:
+    def test_results_in_input_order(self):
+        items = [0, 1, 2, 3]
+        assert parallel_map(_slow_inverse, items, jobs=4) == items
+
+    def test_serial_equals_parallel(self):
+        items = list(range(6))
+        assert parallel_map(_square, items) == parallel_map(_square, items, jobs=2)
+
+    def test_jobs_one_and_zero_run_inline(self):
+        assert parallel_map(_square, [2, 3], jobs=0) == [4, 9]
+        assert parallel_map(_square, [2, 3], jobs=1) == [4, 9]
+
+    def test_seed_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="seeds"):
+            parallel_map(_square, [1, 2, 3], seeds=[1, 2])
+
+
+class TestSeeding:
+    def test_per_point_seeds_scheduling_free(self):
+        grid = list(range(5))
+        serial = run_sweep(_draw, grid, base_seed=7)
+        parallel = run_sweep(_draw, grid, jobs=3, base_seed=7)
+        assert serial == parallel  # bitwise: same floats from same seeds
+
+    def test_seeds_are_per_point_not_per_worker(self):
+        # Same point position -> same draw, regardless of grid size.
+        a = run_sweep(_draw, [0, 1], jobs=2, base_seed=3)
+        b = run_sweep(_draw, [0, 1, 2], jobs=2, base_seed=3)
+        assert a == b[:2]
+
+
+class TestStatsMerge:
+    def test_records_merged_in_submission_order(self):
+        stats_collector.enable()
+        parallel_map(_recording, [3, 1, 2], jobs=3)
+        assert [name for name, _ in stats_collector.records] == [
+            "point-3",
+            "point-1",
+            "point-2",
+        ]
+        assert [s.steps[0].n_solves for _, s in stats_collector.records] == [3, 1, 2]
+
+    def test_serial_and_parallel_records_identical(self):
+        stats_collector.enable()
+        parallel_map(_recording, [3, 1, 2])
+        serial = stats_collector.clear()
+        parallel_map(_recording, [3, 1, 2], jobs=2)
+        parallel = stats_collector.clear()
+        assert [name for name, _ in serial] == [name for name, _ in parallel]
+
+    def test_workers_do_not_duplicate_parent_records(self):
+        # Under fork, workers inherit the parent's collector contents;
+        # _run_point must reset it so records are merged exactly once.
+        stats_collector.enable()
+        stats_collector.add("pre-existing", RunStats([]))
+        parallel_map(_recording, [1, 2], jobs=2)
+        names = [name for name, _ in stats_collector.records]
+        assert names == ["pre-existing", "point-1", "point-2"]
+
+    def test_disabled_collector_stays_empty(self):
+        parallel_map(_recording, [1, 2], jobs=2)
+        assert stats_collector.records == []
