@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate paper experiments from the shell.
+"""Command-line interface: experiments and the serving runtime.
 
 Usage::
 
@@ -6,9 +6,14 @@ Usage::
     python -m repro run fig5 --workload worldcup
     python -m repro run fig6 --full
     python -m repro run all
+    python -m repro serve --trace demand.csv --deadline-ms 500 \\
+        --checkpoint run.ckpt --events run_events.jsonl
+    python -m repro replay run_events.jsonl
 
-Every experiment prints the same rows the corresponding paper figure
-plots (see EXPERIMENTS.md for recorded outputs).
+``run`` prints the same rows the corresponding paper figure plots (see
+EXPERIMENTS.md for recorded outputs); ``serve`` drives the
+fault-tolerant streaming runtime over an hourly-CSV trace (see
+docs/SERVING.md); ``replay`` renders a recorded serve event log.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.evaluation import ExperimentScale, experiments
 
@@ -53,11 +59,17 @@ def _registry(scale: ExperimentScale, jobs: "int | None" = None):
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``python -m repro`` argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Reproduce the paper's tables and figures.",
+        description="Reproduce the paper's tables and figures, or serve "
+        "a workload trace through the streaming runtime.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
@@ -91,12 +103,157 @@ def build_parser() -> argparse.ArgumentParser:
         help="run sweep points on N worker processes (results and "
         "--stats output are identical to a serial run)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="stream a workload trace through the fault-tolerant runtime",
+    )
+    serve.add_argument(
+        "--trace", required=True, help="hourly demand trace (CSV)"
+    )
+    serve.add_argument(
+        "--column", type=int, default=-1, help="CSV column holding the counts"
+    )
+    serve.add_argument(
+        "--horizon", type=int, default=None, metavar="T",
+        help="serve at most the first T slots of the trace",
+    )
+    serve.add_argument("--k", type=int, default=2, help="SLA edges per tier-1 cloud")
+    serve.add_argument(
+        "--n-tier2", type=int, default=6, help="tier-2 clouds (<= 18)"
+    )
+    serve.add_argument(
+        "--n-tier1", type=int, default=12, help="tier-1 clouds (<= 48)"
+    )
+    serve.add_argument(
+        "--epsilon", type=float, default=1e-2, help="regularization epsilon"
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-slot solve budget in milliseconds",
+    )
+    serve.add_argument(
+        "--enforce", choices=["thread", "cooperative"], default="thread",
+        help="deadline enforcement: abandon over-budget solves (thread) "
+        "or record misses only (cooperative)",
+    )
+    serve.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint file; with --resume, continue a killed run from it",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="write the checkpoint every N slots (default 1)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint if it exists",
+    )
+    serve.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="write the JSONL event log here (see 'repro replay')",
+    )
+    serve.add_argument(
+        "--record-feed", default=None, metavar="PATH",
+        help="also record the slot stream as a replayable JSONL feed",
+    )
+    serve.add_argument(
+        "--inject-stall", type=float, default=0.0, metavar="P",
+        help="inject solver stalls with per-slot probability P",
+    )
+    serve.add_argument(
+        "--inject-fail", type=float, default=0.0, metavar="P",
+        help="inject solver failures with per-slot probability P",
+    )
+    serve.add_argument(
+        "--inject-seed", type=int, default=0, help="fault-injection seed"
+    )
+
+    replay = sub.add_parser(
+        "replay", help="render a recorded serve event log"
+    )
+    replay.add_argument("events", help="JSONL event log written by 'repro serve'")
     return parser
+
+
+def _cmd_serve(args) -> int:
+    """Run the streaming serve loop over an hourly-CSV trace."""
+    from repro.core import RegularizedOnline
+    from repro.core.subproblem import SubproblemConfig
+    from repro.serve import (
+        EventLog,
+        FaultInjector,
+        ServeConfig,
+        ServeLoop,
+        TraceCSVSource,
+        write_feed,
+    )
+
+    source = TraceCSVSource(
+        args.trace,
+        column=args.column,
+        horizon=args.horizon,
+        k=args.k,
+        n_tier2=args.n_tier2,
+        n_tier1=args.n_tier1,
+    )
+    controller = RegularizedOnline(SubproblemConfig(epsilon=args.epsilon))
+    injector = None
+    if args.inject_stall or args.inject_fail:
+        injector = FaultInjector(
+            stall_prob=args.inject_stall,
+            fail_prob=args.inject_fail,
+            seed=args.inject_seed,
+        )
+    config = ServeConfig(
+        deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        enforce=args.enforce,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
+        injector=injector,
+    )
+    if args.record_feed:
+        n = write_feed(args.record_feed, source)
+        print(f"recorded {n}-slot feed to {args.record_feed}")
+    with EventLog(args.events) as log:
+        if args.resume and args.checkpoint and Path(args.checkpoint).exists():
+            loop = ServeLoop.resume(
+                controller, source, args.checkpoint, config=config, event_log=log
+            )
+            print(f"resumed from {args.checkpoint} at slot {loop.session.t}")
+        else:
+            loop = ServeLoop(controller, source, config=config, event_log=log)
+        report = loop.run()
+    print(report.describe())
+    if args.events:
+        print(f"event log: {args.events}")
+    return 0 if report.summary["unserved"] == 0 and report.error is None else 1
+
+
+def _cmd_replay(args) -> int:
+    """Render a recorded serve event log."""
+    from repro.evaluation.reporting import render_serve_events
+    from repro.serve import read_events
+
+    events = read_events(args.events)
+    if not events:
+        print(f"no events found in {args.events}", file=sys.stderr)
+        return 1
+    print(render_serve_events(events))
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "list":
         scale = ExperimentScale.from_env()
         for name in _registry(scale):

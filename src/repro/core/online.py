@@ -107,6 +107,48 @@ class RegularizedOnline:
         state.prev = alloc
         return alloc
 
+    def observe(
+        self, state: OnlineState, t: int, slot: SlotData, decision: Allocation
+    ) -> None:
+        """An externally-imposed decision (serve fallback) was applied.
+
+        The next subproblem anchors its regularizers at what actually
+        ran, and the warm-start vector is dropped — it was the reduced
+        optimum of a decision that never took effect.
+        """
+        state.prev = decision
+        state.warm = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks (serve runtime)
+    # ------------------------------------------------------------------
+    def export_state(self, state: OnlineState) -> dict:
+        """Flat array snapshot of the carried state.
+
+        The subproblem's compiled structures are *not* serialized —
+        they are deterministic functions of the network and config, so
+        :meth:`restore_state` rebuilds them and the resumed run's
+        solves are bitwise-identical to the uninterrupted run's.
+        """
+        return {
+            "prev_x": state.prev.x.copy(),
+            "prev_y": state.prev.y.copy(),
+            "prev_s": state.prev.s.copy(),
+            "warm": None if state.warm is None else state.warm.copy(),
+        }
+
+    def restore_state(self, source, snapshot: dict) -> OnlineState:
+        """Inverse of :meth:`export_state` (fresh subproblem structure)."""
+        net = source_network(source)
+        warm = snapshot.get("warm")
+        return OnlineState(
+            subproblem=RegularizedSubproblem(net, self.config),
+            prev=Allocation(
+                snapshot["prev_x"], snapshot["prev_y"], snapshot["prev_s"]
+            ),
+            warm=None if warm is None else np.asarray(warm, dtype=float),
+        )
+
     # ------------------------------------------------------------------
     # Convenience wrappers
     # ------------------------------------------------------------------

@@ -54,6 +54,13 @@ class SlotData:
     ``tier2_price`` carries the per-upper-node prices (``a_{it}`` in
     the two-tier model; the flattened node prices in the N-tier model)
     and ``link_price`` the per-edge/link prices ``c_{et}``.
+
+    Each field is validated on construction: NaN/inf or negative
+    entries raise a :class:`ValueError` naming the offending field
+    instead of propagating into the solver as an opaque failure.
+    Shape compatibility with a concrete network is a separate check
+    (:meth:`validate`) because a bare ``SlotData`` does not know its
+    topology.
     """
 
     __slots__ = ("workload", "tier2_price", "link_price")
@@ -64,9 +71,44 @@ class SlotData:
         tier2_price: np.ndarray,
         link_price: np.ndarray,
     ) -> None:
-        self.workload = np.asarray(workload, dtype=float)
-        self.tier2_price = np.asarray(tier2_price, dtype=float)
-        self.link_price = np.asarray(link_price, dtype=float)
+        self.workload = self._field("workload", workload)
+        self.tier2_price = self._field("tier2_price", tier2_price)
+        self.link_price = self._field("link_price", link_price)
+
+    @staticmethod
+    def _field(name: str, arr) -> np.ndarray:
+        arr = np.asarray(arr, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError(
+                f"SlotData.{name} must be 1-D (one slot), got shape {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            bad = int(np.count_nonzero(~np.isfinite(arr)))
+            raise ValueError(f"SlotData.{name} contains {bad} non-finite entries")
+        if arr.size and float(arr.min()) < 0:
+            raise ValueError(
+                f"SlotData.{name} must be non-negative (min entry {float(arr.min())})"
+            )
+        return arr
+
+    def validate(self, network) -> "SlotData":
+        """Check the field shapes against a two-tier network.
+
+        Returns ``self`` so sources can validate inline; raises a
+        :class:`ValueError` naming the mismatched field otherwise.
+        """
+        expected = (
+            ("workload", self.workload, network.n_tier1),
+            ("tier2_price", self.tier2_price, network.n_tier2),
+            ("link_price", self.link_price, network.n_edges),
+        )
+        for name, arr, size in expected:
+            if arr.shape != (size,):
+                raise ValueError(
+                    f"SlotData.{name} has shape {arr.shape}, expected ({size},) "
+                    f"for {network!r}"
+                )
+        return self
 
     @classmethod
     def from_instance(cls, instance: Any, t: int) -> "SlotData":
@@ -169,6 +211,94 @@ class SolveSession:
         self._steps.append(decision)
         self.t += 1
         return decision
+
+    def apply(self, slot: SlotData, decision: Any) -> Any:
+        """Advance one slot with an externally-decided allocation.
+
+        The serve runtime calls this when a fallback (held allocation,
+        greedy cover) produced the slot's decision instead of the
+        controller: the decision is recorded in the trajectory and the
+        controller's carried state is told about it through its
+        optional ``observe(state, t, slot, decision)`` hook so the next
+        primary solve anchors at what was actually applied.  Controllers
+        without the hook get the generic treatment: ``state.prev`` is
+        replaced and any warm-start vector is dropped (it seeded the
+        solve of a decision that was never applied).
+        """
+        observe = getattr(self.controller, "observe", None)
+        if observe is not None:
+            observe(self.state, self.t, slot, decision)
+        else:
+            if hasattr(self.state, "prev"):
+                self.state.prev = decision
+            if getattr(self.state, "warm", None) is not None:
+                self.state.warm = None
+        self._step_stats.append(StepStats.from_records(self.t, 0.0, []))
+        self._steps.append(decision)
+        self.t += 1
+        return decision
+
+    def rebuild(self, initial: Any = None) -> None:
+        """Replace the carried state with a freshly-built one.
+
+        Used by the serve runtime after an abandoned (timed-out) solve:
+        the abandoned worker may still be mutating the old state's
+        scratch buffers, so the session discards it and rebuilds from
+        the last applied decision.  Solver results are unchanged — the
+        compiled structures are deterministic functions of the network
+        and config — only warm-start amortization restarts.
+        """
+        self.state = self.controller.make_state(self.source, initial=initial)
+        self._probe = getattr(self.state, "probe", None)
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks (see repro.serve.checkpoint)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the session for checkpoint/resume.
+
+        Requires the controller to implement ``export_state(state) ->
+        dict`` (a flat mapping of arrays/scalars).  The snapshot holds
+        everything :meth:`resume` needs to continue the run with a
+        bitwise-identical future trajectory: the step index, the
+        controller's carried state, the decisions taken so far and
+        their per-step statistics.
+        """
+        export = getattr(self.controller, "export_state", None)
+        if export is None:
+            raise TypeError(
+                f"controller {self.controller.name!r} does not support state "
+                "export (no export_state hook); checkpointing is unavailable"
+            )
+        return {
+            "t": self.t,
+            "controller": export(self.state),
+            "steps": list(self._steps),
+            "step_stats": list(self._step_stats),
+        }
+
+    @classmethod
+    def resume(cls, controller: Controller, source: Any, snapshot: dict) -> "SolveSession":
+        """Rebuild a session from an :meth:`export_state` snapshot.
+
+        The controller must implement ``restore_state(source, snapshot)
+        -> state``, the inverse of its ``export_state``.
+        """
+        restore = getattr(controller, "restore_state", None)
+        if restore is None:
+            raise TypeError(
+                f"controller {controller.name!r} does not support state "
+                "restore (no restore_state hook)"
+            )
+        session = cls.__new__(cls)
+        session.controller = controller
+        session.source = source
+        session.state = restore(source, snapshot["controller"])
+        session.t = int(snapshot["t"])
+        session._steps = list(snapshot["steps"])
+        session._step_stats = list(snapshot["step_stats"])
+        session._probe = getattr(session.state, "probe", None)
+        return session
 
     def run(self, instance: Any = None) -> Any:
         """Feed every slot of ``instance`` through :meth:`step`.

@@ -111,6 +111,33 @@ class StepStats:
             backends=backends,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (checkpoint files, event logs)."""
+        return {
+            "t": self.t,
+            "wall_time": self.wall_time,
+            "n_solves": self.n_solves,
+            "newton_iters": self.newton_iters,
+            "warm_attempts": self.warm_attempts,
+            "warm_hits": self.warm_hits,
+            "fallbacks": self.fallbacks,
+            "backends": list(self.backends),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StepStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            t=int(payload["t"]),
+            wall_time=float(payload["wall_time"]),
+            n_solves=int(payload["n_solves"]),
+            newton_iters=int(payload["newton_iters"]),
+            warm_attempts=int(payload["warm_attempts"]),
+            warm_hits=int(payload["warm_hits"]),
+            fallbacks=int(payload["fallbacks"]),
+            backends=tuple(payload["backends"]),
+        )
+
 
 @dataclass
 class RunStats:

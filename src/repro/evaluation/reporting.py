@@ -73,6 +73,50 @@ def render_run_stats(records: "list[tuple[str, object]]") -> str:
     return format_table(headers, rows)
 
 
+def render_serve_events(events: "list[dict]") -> str:
+    """Render a serve event log (:mod:`repro.serve.events`) as tables.
+
+    Produces the run-level summary plus a per-slot table (slot, serve
+    path, wall time, deadline miss, fallback reason) — the report
+    surface behind ``repro replay``.
+    """
+    from repro.serve.events import summarize_events
+
+    summary = summarize_events(events)
+    paths = summary["paths"]
+    summary_rows = [
+        ("slots", summary["slots"]),
+        ("served", summary["slots"] - summary["unserved"]),
+        ("unserved", summary["unserved"]),
+        *[(f"path:{name}", count) for name, count in sorted(paths.items())],
+        ("deadline misses", summary["deadline_misses"]),
+        ("fallbacks", summary["fallbacks"]),
+        ("checkpoints", summary["checkpoints"]),
+        ("source errors", summary["source_errors"]),
+    ]
+    parts = [format_table(["metric", "value"], summary_rows)]
+
+    slot_rows = [
+        (
+            event.get("t", "-"),
+            event.get("path", "?"),
+            event.get("wall_time", 0.0),
+            "yes" if event.get("deadline_missed") else "",
+            event.get("error") or "",
+        )
+        for event in events
+        if event.get("event") == "slot_decided"
+    ]
+    if slot_rows:
+        parts.append("")
+        parts.append(
+            format_table(
+                ["slot", "path", "wall [s]", "miss", "fallback reason"], slot_rows
+            )
+        )
+    return "\n".join(parts)
+
+
 @dataclass
 class ExperimentResult:
     """Structured output of one reproduced table/figure.

@@ -1,0 +1,129 @@
+"""Checkpoint files: crash-safe snapshots of a serve run.
+
+A checkpoint captures everything needed to resume a killed run and
+produce a trajectory bitwise-identical to the uninterrupted one: the
+step index, every decision applied so far (and which path served it),
+the per-step solver statistics, and the controller's carried state as
+exported through the engine's
+:meth:`~repro.engine.session.SolveSession.export_state` hook.
+
+Format: a single ``.npz`` file holding the decision/state arrays plus
+a JSON ``meta`` record (schema tag, step index, controller name,
+per-slot serve paths, step statistics, non-array state entries).
+Writes are atomic — the file is staged next to the target and moved
+into place with :func:`os.replace` — so a crash mid-write never leaves
+a truncated checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.stats import StepStats
+from repro.model.allocation import Allocation
+
+#: Schema identifier stamped into every checkpoint's meta record.
+CHECKPOINT_SCHEMA = "repro-serve-ckpt/v1"
+
+#: npz key prefix for controller state arrays.
+_CTRL_PREFIX = "ctrl__"
+
+
+def save_checkpoint(
+    path: "str | Path",
+    snapshot: dict,
+    *,
+    controller_name: str = "",
+    paths: "list[str] | None" = None,
+) -> Path:
+    """Write a session snapshot (see ``SolveSession.export_state``).
+
+    ``paths`` records which serve path ("primary"/"hold"/"greedy")
+    produced each decision, so a resumed run's report is complete.
+    """
+    path = Path(path)
+    steps = snapshot.get("steps", [])
+    arrays: dict[str, np.ndarray] = {}
+    if steps:
+        if not all(isinstance(s, Allocation) for s in steps):
+            raise TypeError(
+                "checkpointing requires Allocation steps (two-tier "
+                f"controllers); got {type(steps[0]).__name__}"
+            )
+        arrays["steps_x"] = np.stack([a.x for a in steps])
+        arrays["steps_y"] = np.stack([a.y for a in steps])
+        arrays["steps_s"] = np.stack([a.s for a in steps])
+
+    ctrl = snapshot.get("controller", {})
+    ctrl_other: dict = {}
+    none_keys: list[str] = []
+    for key, value in ctrl.items():
+        if value is None:
+            none_keys.append(key)
+        elif isinstance(value, np.ndarray):
+            arrays[_CTRL_PREFIX + key] = value
+        elif isinstance(value, (bool, int, float, str)):
+            ctrl_other[key] = value
+        else:
+            raise TypeError(
+                f"controller snapshot entry {key!r} has unsupported type "
+                f"{type(value).__name__} (expected ndarray/scalar/None)"
+            )
+
+    meta = {
+        "schema": CHECKPOINT_SCHEMA,
+        "t": int(snapshot["t"]),
+        "controller": controller_name,
+        "n_steps": len(steps),
+        "paths": list(paths or []),
+        "step_stats": [s.to_dict() for s in snapshot.get("step_stats", [])],
+        "ctrl_scalars": ctrl_other,
+        "ctrl_none": none_keys,
+    }
+
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez(fh, meta=np.array(json.dumps(meta, sort_keys=True)), **arrays)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: "str | Path") -> dict:
+    """Load a checkpoint into an ``export_state``-shaped snapshot.
+
+    Returns ``{"t", "steps", "step_stats", "controller", "paths",
+    "controller_name"}`` ready for
+    :meth:`~repro.engine.session.SolveSession.resume`.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("schema") != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported checkpoint schema {meta.get('schema')!r} "
+                f"(expected {CHECKPOINT_SCHEMA!r})"
+            )
+        steps: list[Allocation] = []
+        if meta["n_steps"]:
+            xs, ys, ss = data["steps_x"], data["steps_y"], data["steps_s"]
+            steps = [
+                Allocation(xs[k].copy(), ys[k].copy(), ss[k].copy())
+                for k in range(meta["n_steps"])
+            ]
+        controller: dict = dict(meta["ctrl_scalars"])
+        controller.update({key: None for key in meta["ctrl_none"]})
+        for key in data.files:
+            if key.startswith(_CTRL_PREFIX):
+                controller[key[len(_CTRL_PREFIX):]] = data[key].copy()
+    return {
+        "t": meta["t"],
+        "steps": steps,
+        "step_stats": [StepStats.from_dict(s) for s in meta["step_stats"]],
+        "controller": controller,
+        "paths": list(meta["paths"]),
+        "controller_name": meta["controller"],
+    }

@@ -1,0 +1,116 @@
+"""Structured JSONL event log of a serve run.
+
+Every operationally interesting transition in the serve loop emits one
+event: the run starting/ending, each slot being decided (with the path
+that served it), deadline misses, fallback engagements, checkpoints
+being written, and malformed source records being skipped.  Events are
+plain dicts with an ``event`` type, an optional slot index ``t`` and a
+free payload, appended to an in-memory list and — when a path is given
+— streamed to a JSONL file one line per event, flushed immediately so
+a crashed run's log is complete up to the crash.
+
+The log is a *record*, not a dependency: the serve loop never reads it
+back.  :func:`read_events` + :func:`summarize_events` (and
+:func:`repro.evaluation.reporting.render_serve_events`) turn a log
+into the replay/report surface the CLI's ``repro replay`` exposes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Schema identifier stamped on the serve_start event.
+EVENT_SCHEMA = "repro-serve-events/v1"
+
+
+class EventLog:
+    """Append-only event sink, optionally mirrored to a JSONL file."""
+
+    def __init__(self, path: "str | Path | None" = None) -> None:
+        self.path = None if path is None else Path(path)
+        self.events: "list[dict]" = []
+        self._fh = None
+        if self.path is not None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: str, t: "int | None" = None, **payload) -> dict:
+        """Record one event; returns the event dict."""
+        record: dict = {"event": event}
+        if t is not None:
+            record["t"] = int(t)
+        record.update(payload)
+        self.events.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: "str | Path") -> "list[dict]":
+    """Load a JSONL event log written by :class:`EventLog`.
+
+    Blank lines are skipped; a malformed line raises a
+    :class:`ValueError` naming its line number.
+    """
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: malformed event on line {lineno}: {exc}"
+                ) from exc
+    return events
+
+
+def summarize_events(events: "list[dict]") -> dict:
+    """Fold an event stream into the run-level summary.
+
+    Returns a dict with the slot count, per-path serve counts
+    (``primary`` / ``hold`` / ``greedy``), deadline misses, fallback
+    engagements, checkpoints written, skipped source records and the
+    number of unserved slots (slots whose workload could not be fully
+    covered even by the greedy fallback).
+    """
+    paths: dict[str, int] = {}
+    summary = {
+        "slots": 0,
+        "deadline_misses": 0,
+        "fallbacks": 0,
+        "checkpoints": 0,
+        "source_errors": 0,
+        "unserved": 0,
+    }
+    for event in events:
+        kind = event.get("event")
+        if kind == "slot_decided":
+            summary["slots"] += 1
+            path = event.get("path", "?")
+            paths[path] = paths.get(path, 0) + 1
+            if event.get("deadline_missed"):
+                summary["deadline_misses"] += 1
+            if not event.get("served", True):
+                summary["unserved"] += 1
+        elif kind == "fallback":
+            summary["fallbacks"] += 1
+        elif kind == "checkpoint_written":
+            summary["checkpoints"] += 1
+        elif kind == "source_error":
+            summary["source_errors"] += 1
+    summary["paths"] = paths
+    return summary

@@ -22,18 +22,30 @@ def load_hourly_csv(path: "str | Path", column: int = -1) -> np.ndarray:
 
     Accepts either a single-column file of hourly counts or a
     multi-column file (``column`` selects which one; default last).
-    Header rows are skipped automatically.  For users with the real
-    Wikipedia/WorldCup exports aggregated to hourly counts.
+    Blank lines are skipped, and a leading header row (non-numeric in
+    the selected column) is skipped automatically.  Any *other*
+    malformed row — non-numeric value or missing column — raises a
+    line-numbered :class:`ValueError` instead of being silently
+    dropped, so a corrupted export cannot shorten a trace unnoticed.
     """
     values: list[float] = []
     with open(path, newline="") as fh:
-        for row in csv.reader(fh):
-            if not row:
-                continue
+        for lineno, row in enumerate(csv.reader(fh), start=1):
+            if not row or all(not cell.strip() for cell in row):
+                continue  # blank line
             try:
                 values.append(float(row[column]))
-            except (ValueError, IndexError):
-                continue  # header or malformed row
+            except IndexError:
+                raise ValueError(
+                    f"{path}: line {lineno} has {len(row)} columns, "
+                    f"cannot select column {column}"
+                ) from None
+            except ValueError:
+                if not values:
+                    continue  # leading header row
+                raise ValueError(
+                    f"{path}: malformed value {row[column]!r} on line {lineno}"
+                ) from None
     if not values:
         raise ValueError(f"no numeric rows found in {path}")
     return check_nonnegative("trace", np.asarray(values, dtype=float))

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,9 +17,76 @@ class TestParser:
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
-    def test_requires_command(self):
+    def test_no_subcommand_prints_help_exit_2(self, capsys):
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        assert "usage: repro" in out
+        assert "serve" in out
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_parser_still_rejects_bad_subcommand(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+            build_parser().parse_args(["frobnicate"])
+
+
+@pytest.fixture
+def trace_csv(tmp_path):
+    path = tmp_path / "trace.csv"
+    rows = "\n".join(f"{h},{100 + 20 * (h % 6)}" for h in range(8))
+    path.write_text("hour,requests\n" + rows + "\n")
+    return path
+
+
+class TestServeCommand:
+    SMALL = ["--n-tier2", "3", "--n-tier1", "4", "--k", "2"]
+
+    def test_serve_trace_all_slots_served(self, capsys, trace_csv, tmp_path):
+        events = tmp_path / "events.jsonl"
+        rc = main(
+            ["serve", "--trace", str(trace_csv), "--events", str(events),
+             "--inject-stall", "0.3", "--inject-fail", "0.2",
+             "--inject-seed", "7", *self.SMALL]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "8 slots (8 served, 0 unserved)" in out
+        payloads = [json.loads(line) for line in events.read_text().splitlines()]
+        assert sum(p["event"] == "slot_decided" for p in payloads) == 8
+
+    def test_serve_then_resume(self, capsys, trace_csv, tmp_path):
+        ck = tmp_path / "run.ckpt"
+        base = ["serve", "--trace", str(trace_csv), "--checkpoint", str(ck),
+                *self.SMALL]
+        assert main([*base, "--horizon", "3"]) == 0
+        assert ck.exists()
+        rc = main([*base, "--resume"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resumed from" in out and "at slot 3" in out
+
+    def test_replay_renders_event_log(self, capsys, trace_csv, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "4",
+             "--events", str(events), *self.SMALL]
+        ) == 0
+        capsys.readouterr()
+        assert main(["replay", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "slots" in out and "path:primary" in out
+
+    def test_replay_missing_events_fails(self, capsys, tmp_path):
+        empty = tmp_path / "none.jsonl"
+        empty.write_text("")
+        assert main(["replay", str(empty)]) == 1
+        assert "no events" in capsys.readouterr().err
 
 
 class TestRun:

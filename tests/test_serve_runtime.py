@@ -1,0 +1,278 @@
+"""Tests for the fault-tolerant serve loop (repro.serve.runtime)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RegularizedOnline, SubproblemConfig
+from repro.evaluation.reporting import render_serve_events
+from repro.model import Allocation
+from repro.model.feasibility import check_trajectory
+from repro.serve import (
+    EventLog,
+    FaultInjector,
+    InstanceSource,
+    ServeConfig,
+    ServeLoop,
+    covers,
+    greedy_cover,
+    read_events,
+    summarize_events,
+)
+
+from conftest import make_instance, make_network
+
+EPS = SubproblemConfig(epsilon=1e-2)
+
+
+class TestGreedyCover:
+    def test_covers_and_respects_capacities(self, small_network):
+        net = small_network
+        workload = np.full(net.n_tier1, 2.0)
+        alloc, served = greedy_cover(net, workload)
+        assert served
+        assert np.all(net.aggregate_tier1(alloc.s) >= workload - 1e-9)
+        assert np.all(net.aggregate_tier2(alloc.x) <= net.tier2_capacity + 1e-9)
+        assert np.all(alloc.y <= net.edge_capacity + 1e-9)
+
+    def test_deterministic(self, small_network):
+        workload = np.linspace(0.5, 3.0, small_network.n_tier1)
+        a, _ = greedy_cover(small_network, workload)
+        b, _ = greedy_cover(small_network, workload)
+        assert np.array_equal(a.x, b.x)
+
+    def test_reports_unserved_when_capacity_insufficient(self):
+        net = make_network(tier2_capacity=1.0, edge_capacity=1.0)
+        alloc, served = greedy_cover(net, np.full(net.n_tier1, 100.0))
+        assert not served
+        # Still feasible w.r.t. capacities — best effort, never over.
+        assert np.all(net.aggregate_tier2(alloc.x) <= net.tier2_capacity + 1e-9)
+
+    def test_zero_workload_is_zero_allocation(self, small_network):
+        alloc, served = greedy_cover(small_network, np.zeros(small_network.n_tier1))
+        assert served
+        assert np.all(alloc.x == 0)
+
+
+class TestCovers:
+    def test_previous_allocation_covers_smaller_workload(self, small_network):
+        alloc, _ = greedy_cover(small_network, np.full(small_network.n_tier1, 2.0))
+        assert covers(small_network, alloc, np.full(small_network.n_tier1, 1.5))
+        assert not covers(small_network, alloc, np.full(small_network.n_tier1, 2.5))
+
+
+class TestServeLoopPrimary:
+    def test_matches_batch_run_bitwise(self, small_network):
+        inst = make_instance(small_network, horizon=8, seed=5)
+        batch = RegularizedOnline(EPS).run(inst)
+        report = ServeLoop(RegularizedOnline(EPS), inst).run()
+        assert report.paths == ["primary"] * 8
+        assert np.array_equal(report.trajectory.x, batch.x)
+        assert np.array_equal(report.trajectory.y, batch.y)
+        assert np.array_equal(report.trajectory.s, batch.s)
+
+    def test_max_slots_bounds_one_run(self, small_network):
+        inst = make_instance(small_network, horizon=8, seed=5)
+        loop = ServeLoop(RegularizedOnline(EPS), inst, ServeConfig(max_slots=3))
+        report = loop.run()
+        assert report.summary["slots"] == 3
+        # A second run() call continues where the first stopped (and is
+        # itself bounded by the same budget).
+        loop.run()
+        assert loop.session.t == 6
+
+    def test_report_describe_mentions_paths(self, small_network):
+        inst = make_instance(small_network, horizon=3, seed=5)
+        report = ServeLoop(RegularizedOnline(EPS), inst).run()
+        assert "primary=3" in report.describe()
+
+
+class TestFaultInjection:
+    def test_every_slot_served_under_faults(self, small_network):
+        inst = make_instance(small_network, horizon=10, seed=5)
+        injector = FaultInjector(stall_prob=0.3, fail_prob=0.2, seed=7)
+        log = EventLog()
+        report = ServeLoop(
+            RegularizedOnline(EPS), inst, ServeConfig(injector=injector), log
+        ).run()
+        assert report.summary["slots"] == 10
+        assert report.summary["unserved"] == 0
+        assert report.summary["fallbacks"] > 0
+        # The fallback path of every non-primary slot is in the event log.
+        decided = [e for e in log.events if e["event"] == "slot_decided"]
+        assert len(decided) == 10
+        for event in decided:
+            assert event["path"] in ("primary", "hold", "greedy")
+        fallback_slots = {e["t"] for e in log.events if e["event"] == "fallback"}
+        assert fallback_slots == {
+            e["t"] for e in decided if e["path"] != "primary"
+        }
+
+    def test_trajectory_stays_feasible_under_faults(self, small_network):
+        inst = make_instance(small_network, horizon=10, seed=5)
+        injector = FaultInjector(stall_prob=0.4, fail_prob=0.3, seed=11)
+        report = ServeLoop(
+            RegularizedOnline(EPS), inst, ServeConfig(injector=injector)
+        ).run()
+        assert check_trajectory(inst, report.trajectory).ok
+
+    def test_all_faults_still_serves_every_slot(self, small_network):
+        inst = make_instance(small_network, horizon=5, seed=5)
+        injector = FaultInjector(fail_prob=1.0)
+        report = ServeLoop(
+            RegularizedOnline(EPS), inst, ServeConfig(injector=injector)
+        ).run()
+        assert report.summary["unserved"] == 0
+        assert set(report.paths) <= {"hold", "greedy"}
+        assert report.paths[0] == "greedy"  # nothing to hold at t=0
+
+    def test_injector_is_deterministic_and_stateless(self):
+        injector = FaultInjector(stall_prob=0.3, fail_prob=0.2, seed=5)
+        draws = [injector.draw(t) for t in range(50)]
+        assert draws == [injector.draw(t) for t in range(50)]
+        # Per-slot independence: drawing t=30 alone matches the sweep.
+        assert injector.draw(30) == draws[30]
+        assert {"stall", "failure"} & set(draws)
+
+    def test_injector_validates_probabilities(self):
+        with pytest.raises(ValueError, match="stall_prob"):
+            FaultInjector(stall_prob=1.5)
+        with pytest.raises(ValueError, match="exceed 1"):
+            FaultInjector(stall_prob=0.7, fail_prob=0.7)
+
+
+class TestDeadline:
+    class SlowOnline(RegularizedOnline):
+        """Stalls on one slot to exercise preemptive deadlines."""
+
+        def __init__(self, config, slow_at=2, sleep_s=0.6):
+            super().__init__(config)
+            self.slow_at, self.sleep_s = slow_at, sleep_s
+
+        def decide(self, state, t, slot):
+            if t == self.slow_at:
+                time.sleep(self.sleep_s)
+            return super().decide(state, t, slot)
+
+    def test_thread_enforcement_abandons_slow_solve(self, small_network):
+        inst = make_instance(small_network, horizon=5, seed=5)
+        log = EventLog()
+        report = ServeLoop(
+            self.SlowOnline(EPS),
+            inst,
+            ServeConfig(deadline_s=0.15, enforce="thread"),
+            log,
+        ).run()
+        assert report.summary["slots"] == 5
+        assert report.paths[2] in ("hold", "greedy")
+        # The loop recovers: slots after the stall are primary again.
+        assert report.paths[3] == "primary" and report.paths[4] == "primary"
+        misses = [e for e in log.events if e["event"] == "deadline_miss"]
+        assert any(e["t"] == 2 for e in misses)
+
+    def test_cooperative_mode_keeps_the_late_decision(self, small_network):
+        inst = make_instance(small_network, horizon=4, seed=5)
+        log = EventLog()
+        report = ServeLoop(
+            self.SlowOnline(EPS, slow_at=1, sleep_s=0.05),
+            inst,
+            ServeConfig(deadline_s=0.01, enforce="cooperative"),
+            log,
+        ).run()
+        # The decision still came from the primary path; only the miss
+        # is recorded.
+        assert report.paths == ["primary"] * 4
+        assert any(
+            e["event"] == "deadline_miss" and e["t"] == 1 for e in log.events
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="enforce"):
+            ServeConfig(enforce="nope")
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            ServeConfig(checkpoint_every=4)
+
+
+class TestSourceErrors:
+    class FlakySource:
+        """Yields valid slots then raises, like a corrupted tail record."""
+
+        def __init__(self, instance, fail_at):
+            self.inner = InstanceSource(instance)
+            self.network = instance.network
+            self.horizon = instance.horizon
+            self.fail_at = fail_at
+
+        def slots(self, start=0):
+            for t, slot in enumerate(self.inner.slots(start), start=start):
+                if t == self.fail_at:
+                    raise ValueError(f"malformed record at slot {t}")
+                yield slot
+
+    def test_loop_stops_cleanly_on_source_error(self, small_network):
+        inst = make_instance(small_network, horizon=8, seed=5)
+        log = EventLog()
+        report = ServeLoop(
+            RegularizedOnline(EPS), self.FlakySource(inst, 3), ServeConfig(), log
+        ).run()
+        assert report.error is not None and "slot 3" in report.error
+        assert report.summary["slots"] == 3
+        assert any(e["event"] == "source_error" for e in log.events)
+        # Every slot before the corruption was served normally.
+        assert report.paths == ["primary"] * 3
+
+
+class TestEventLog:
+    def test_jsonl_file_round_trip(self, small_network, tmp_path):
+        inst = make_instance(small_network, horizon=4, seed=5)
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            ServeLoop(RegularizedOnline(EPS), inst, ServeConfig(), log).run()
+        events = read_events(path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "serve_start" and kinds[-1] == "serve_end"
+        assert kinds.count("slot_decided") == 4
+        summary = summarize_events(events)
+        assert summary["slots"] == 4 and summary["paths"] == {"primary": 4}
+
+    def test_malformed_event_line_names_lineno(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "serve_start"}\n{broken\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+    def test_render_serve_events(self, small_network):
+        inst = make_instance(small_network, horizon=4, seed=5)
+        injector = FaultInjector(fail_prob=0.5, seed=3)
+        log = EventLog()
+        ServeLoop(
+            RegularizedOnline(EPS), inst, ServeConfig(injector=injector), log
+        ).run()
+        text = render_serve_events(log.events)
+        assert "slots" in text and "path" in text
+        assert "fallback reason" in text
+
+
+class TestSessionApply:
+    """The engine-level hook the fallback chain relies on."""
+
+    def test_apply_records_decision_and_advances(self, small_network):
+        from repro.engine import SlotData, SolveSession
+
+        inst = make_instance(small_network, horizon=3, seed=5)
+        session = SolveSession(RegularizedOnline(EPS), small_network)
+        slot = SlotData.from_instance(inst, 0)
+        imposed = Allocation.zeros(small_network.n_edges)
+        session.apply(slot, imposed)
+        assert session.t == 1
+        assert session.state.prev is imposed
+        assert session.state.warm is None
+        # The next primary step anchors at the imposed decision.
+        session.step(SlotData.from_instance(inst, 1))
+        assert session.t == 2
+        traj = session.trajectory()
+        assert traj.horizon == 2
+        assert np.array_equal(traj.x[0], imposed.x)

@@ -1,0 +1,155 @@
+"""Tests for the serve slot sources (repro.serve.sources)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import SlotData
+from repro.serve import (
+    InstanceSource,
+    JSONLSource,
+    TraceCSVSource,
+    as_source,
+    write_feed,
+)
+
+from conftest import make_instance, make_network
+
+
+class TestInstanceSource:
+    def test_yields_every_slot(self, small_instance):
+        source = InstanceSource(small_instance)
+        slots = list(source.slots(0))
+        assert len(slots) == small_instance.horizon == source.horizon
+        for t, slot in enumerate(slots):
+            assert np.array_equal(slot.workload, small_instance.workload[t])
+
+    def test_start_offset_skips_served_slots(self, small_instance):
+        source = InstanceSource(small_instance)
+        slots = list(source.slots(5))
+        assert len(slots) == small_instance.horizon - 5
+        assert np.array_equal(slots[0].workload, small_instance.workload[5])
+
+    def test_as_source_coerces_instance(self, small_instance):
+        source = as_source(small_instance)
+        assert isinstance(source, InstanceSource)
+        assert as_source(source) is source
+
+    def test_as_source_rejects_junk(self):
+        with pytest.raises(TypeError, match="SlotSource"):
+            as_source(42)
+
+
+class TestTraceCSVSource:
+    def test_builds_paper_instance_from_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        rows = "\n".join(f"{h},{100 + 10 * h}" for h in range(12))
+        path.write_text("hour,requests\n" + rows + "\n")
+        source = TraceCSVSource(path, horizon=8, k=2, n_tier2=3, n_tier1=4)
+        assert source.horizon == 8
+        assert source.network.n_tier1 == 4
+        assert source.network.n_tier2 == 3
+        slots = list(source.slots(0))
+        assert len(slots) == 8
+        # The trace is replicated across tier-1 clouds.
+        assert np.allclose(slots[0].workload, 100.0)
+
+    def test_all_zero_trace_rejected(self, tmp_path):
+        path = tmp_path / "zero.csv"
+        path.write_text("0\n0\n0\n")
+        with pytest.raises(ValueError, match="no positive demand"):
+            TraceCSVSource(path, n_tier2=3, n_tier1=4)
+
+
+class TestJSONLSource:
+    def test_feed_round_trip_is_bitwise(self, small_network, tmp_path):
+        inst = make_instance(small_network, horizon=6, seed=5)
+        path = tmp_path / "feed.jsonl"
+        assert write_feed(path, InstanceSource(inst)) == 6
+        source = JSONLSource(path, small_network)
+        assert source.horizon == 6
+        for t, slot in enumerate(source.slots(0)):
+            assert np.array_equal(slot.workload, inst.workload[t])
+            assert np.array_equal(slot.tier2_price, inst.tier2_price[t])
+            assert np.array_equal(slot.link_price, inst.link_price[t])
+
+    def test_header_line_is_skipped(self, small_network, tmp_path):
+        inst = make_instance(small_network, horizon=3, seed=5)
+        path = tmp_path / "feed.jsonl"
+        write_feed(path, InstanceSource(inst))
+        first = path.read_text().splitlines()[0]
+        assert json.loads(first)["schema"] == "repro-serve-feed/v1"
+        assert JSONLSource(path, small_network).horizon == 3
+
+    def test_malformed_json_names_line(self, small_network, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('{"schema": "repro-serve-feed/v1"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            JSONLSource(path, small_network)
+
+    def test_shape_mismatch_names_line(self, small_network, tmp_path):
+        inst = make_instance(small_network, horizon=2, seed=5)
+        path = tmp_path / "feed.jsonl"
+        write_feed(path, InstanceSource(inst))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {"t": 2, "workload": [1.0], "tier2_price": [1.0],
+                     "link_price": [1.0]}
+                )
+                + "\n"
+            )
+        with pytest.raises(ValueError, match="line 4"):
+            JSONLSource(path, small_network)
+
+    def test_gap_in_slot_indices_rejected(self, small_network, tmp_path):
+        inst = make_instance(small_network, horizon=3, seed=5)
+        path = tmp_path / "feed.jsonl"
+        write_feed(path, InstanceSource(inst))
+        lines = path.read_text().splitlines()
+        del lines[2]  # drop the t=1 record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="contiguous"):
+            JSONLSource(path, small_network)
+
+    def test_slots_start_offset(self, small_network, tmp_path):
+        inst = make_instance(small_network, horizon=5, seed=5)
+        path = tmp_path / "feed.jsonl"
+        write_feed(path, InstanceSource(inst))
+        slots = list(JSONLSource(path, small_network).slots(3))
+        assert len(slots) == 2
+        assert np.array_equal(slots[0].workload, inst.workload[3])
+
+
+class TestSlotDataValidation:
+    """Satellite: reject NaN/negative/mismatched inputs with clear errors."""
+
+    def test_nan_workload_names_field(self):
+        with pytest.raises(ValueError, match="workload.*non-finite"):
+            SlotData(np.array([1.0, np.nan]), np.ones(2), np.ones(2))
+
+    def test_inf_price_names_field(self):
+        with pytest.raises(ValueError, match="tier2_price.*non-finite"):
+            SlotData(np.ones(2), np.array([np.inf, 1.0]), np.ones(2))
+
+    def test_negative_link_price_names_field(self):
+        with pytest.raises(ValueError, match="link_price.*non-negative"):
+            SlotData(np.ones(2), np.ones(2), np.array([0.5, -0.5]))
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError, match="workload.*1-D"):
+            SlotData(np.ones((2, 2)), np.ones(2), np.ones(2))
+
+    def test_validate_checks_shapes_against_network(self, small_network):
+        net = small_network
+        good = SlotData(
+            np.ones(net.n_tier1), np.ones(net.n_tier2), np.ones(net.n_edges)
+        )
+        assert good.validate(net) is good
+        bad = SlotData(np.ones(net.n_tier1 + 1), np.ones(net.n_tier2),
+                       np.ones(net.n_edges))
+        with pytest.raises(ValueError, match="workload has shape"):
+            bad.validate(net)

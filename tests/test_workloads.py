@@ -150,3 +150,21 @@ class TestTraces:
         path.write_text("only,headers\n")
         with pytest.raises(ValueError, match="no numeric rows"):
             load_hourly_csv(path)
+
+    def test_load_csv_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("hour,requests\n0,100\n\n1,150\n   \n2,90\n")
+        trace = load_hourly_csv(path)
+        np.testing.assert_array_equal(trace, [100.0, 150.0, 90.0])
+
+    def test_load_csv_malformed_value_names_line(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("hour,requests\n0,100\n1,oops\n2,90\n")
+        with pytest.raises(ValueError, match=r"line 3.*'oops'|'oops'.*line 3"):
+            load_hourly_csv(path)
+
+    def test_load_csv_missing_column_names_line(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,100\n1\n2,90\n")
+        with pytest.raises(ValueError, match="line 2"):
+            load_hourly_csv(path, column=1)
