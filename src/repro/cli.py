@@ -57,6 +57,17 @@ def _registry(scale: ExperimentScale, jobs: "int | None" = None):
     }
 
 
+def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="enable the observability layer for this run and write "
+        "Prometheus-format metrics to PATH (plus a JSONL span trace "
+        "to PATH.trace.jsonl); see docs/OBSERVABILITY.md",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``python -m repro`` argument parser."""
     from repro import __version__
@@ -103,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run sweep points on N worker processes (results and "
         "--stats output are identical to a serial run)",
     )
+    _add_metrics_flag(run)
 
     serve = sub.add_parser(
         "serve",
@@ -168,11 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--inject-seed", type=int, default=0, help="fault-injection seed"
     )
+    _add_metrics_flag(serve)
 
     replay = sub.add_parser(
         "replay", help="render a recorded serve event log"
     )
     replay.add_argument("events", help="JSONL event log written by 'repro serve'")
+    _add_metrics_flag(replay)
     return parser
 
 
@@ -234,19 +248,23 @@ def _cmd_replay(args) -> int:
     """Render a recorded serve event log."""
     from repro.evaluation.reporting import render_serve_events
     from repro.serve import read_events
+    from repro.serve.events import publish_event
 
     events = read_events(args.events)
     if not events:
         print(f"no events found in {args.events}", file=sys.stderr)
         return 1
+    # Re-aggregate the recorded events into the metrics registry (a
+    # no-op unless --metrics enabled it), so a replayed log exports the
+    # same serve_* counters the live run would have.
+    for event in events:
+        publish_event(event)
     print(render_serve_events(events))
     return 0
 
 
-def main(argv: "list[str] | None" = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(args, parser: argparse.ArgumentParser) -> int:
+    """Route a parsed command line to its command handler."""
     if args.command is None:
         parser.print_help()
         return 2
@@ -301,3 +319,38 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"[{name}: {time.perf_counter() - start:.1f}s]")
         print()
     return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    When the command carries ``--metrics PATH``, the observability
+    layer is enabled around the dispatch: metrics land in PATH in
+    Prometheus text format, spans in ``PATH.trace.jsonl``, and a
+    human-readable summary is printed after the command's own output.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path is None:
+        return _dispatch(args, parser)
+
+    from repro.evaluation.reporting import render_metrics
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracing as obs_tracing
+    from repro.obs.export import write_prometheus
+
+    obs_metrics.enable()
+    obs_tracing.enable(path=f"{metrics_path}.trace.jsonl")
+    try:
+        code = _dispatch(args, parser)
+    finally:
+        snapshot = obs_metrics.active().snapshot()
+        obs_tracing.disable()
+        obs_metrics.disable()
+        write_prometheus(snapshot, metrics_path)
+    print()
+    print(render_metrics(snapshot))
+    print(f"metrics: {metrics_path}")
+    print(f"trace:   {metrics_path}.trace.jsonl")
+    return code

@@ -46,6 +46,7 @@ import scipy.sparse as sp
 
 from repro.model.allocation import Allocation
 from repro.model.network import CloudNetwork
+from repro.obs import tracing as obs_tracing
 from repro.solvers.convex import (
     EntropicTerm,
     SeparableObjective,
@@ -432,7 +433,15 @@ class RegularizedSubproblem:
                 warm_used = True
                 if options.backend == "barrier":
                     options = replace(options, barrier_t0=max(options.barrier_t0, 1e3))
-        v = prog.solve(v0=v0, options=options)
+        with obs_tracing.span("subproblem.solve") as span:
+            v = prog.solve(v0=v0, options=options)
+            span.set(
+                backend=prog.last_info.backend,
+                warm_attempted=warm_attempted,
+                warm_used=warm_used,
+                fallback=prog.last_info.fallback,
+                newton_iters=prog.last_info.newton_iters,
+            )
         if probe is not None:
             info = prog.last_info
             probe.record_solve(

@@ -42,9 +42,10 @@ from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.engine.stats import RunStats, StatsProbe, StepStats
+from repro.engine.stats import RunStats, StatsProbe, StepStats, publish_step_stats
 from repro.model.allocation import Trajectory
 from repro.model.instance import Instance
+from repro.obs import tracing as obs_tracing
 from repro.util.timing import Timer
 
 
@@ -202,12 +203,22 @@ class SolveSession:
     def step(self, slot: SlotData) -> Any:
         """Decide one slot from streamed data and advance the session."""
         probe = self._probe
-        with Timer() as timer:
-            decision = self.controller.decide(self.state, self.t, slot)
-        records = probe.drain() if probe is not None else []
-        self._step_stats.append(
-            StepStats.from_records(self.t, timer.elapsed, records)
+        span = obs_tracing.span(
+            "engine.step", t=self.t, controller=self.controller.name
         )
+        with span:
+            with Timer() as timer:
+                decision = self.controller.decide(self.state, self.t, slot)
+            records = probe.drain() if probe is not None else []
+            stats = StepStats.from_records(self.t, timer.elapsed, records)
+            span.set(
+                n_solves=stats.n_solves,
+                newton_iters=stats.newton_iters,
+                warm_used=stats.warm_hits > 0,
+                fallback=stats.fallbacks > 0,
+            )
+        publish_step_stats(stats)
+        self._step_stats.append(stats)
         self._steps.append(decision)
         self.t += 1
         return decision
@@ -225,15 +236,20 @@ class SolveSession:
         replaced and any warm-start vector is dropped (it seeded the
         solve of a decision that was never applied).
         """
-        observe = getattr(self.controller, "observe", None)
-        if observe is not None:
-            observe(self.state, self.t, slot, decision)
-        else:
-            if hasattr(self.state, "prev"):
-                self.state.prev = decision
-            if getattr(self.state, "warm", None) is not None:
-                self.state.warm = None
-        self._step_stats.append(StepStats.from_records(self.t, 0.0, []))
+        with obs_tracing.span(
+            "engine.apply", t=self.t, controller=self.controller.name
+        ):
+            observe = getattr(self.controller, "observe", None)
+            if observe is not None:
+                observe(self.state, self.t, slot, decision)
+            else:
+                if hasattr(self.state, "prev"):
+                    self.state.prev = decision
+                if getattr(self.state, "warm", None) is not None:
+                    self.state.warm = None
+        stats = StepStats.from_records(self.t, 0.0, [])
+        publish_step_stats(stats)
+        self._step_stats.append(stats)
         self._steps.append(decision)
         self.t += 1
         return decision

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import metrics as obs_metrics
+
 
 @dataclass
 class SolveRecord:
@@ -137,6 +139,46 @@ class StepStats:
             fallbacks=int(payload["fallbacks"]),
             backends=tuple(payload["backends"]),
         )
+
+
+def publish_step_stats(stats: StepStats) -> None:
+    """Mirror one step's stats into the active metrics registry.
+
+    The engine calls this once per :meth:`SolveSession.step` /
+    :meth:`SolveSession.apply`, making the registry the shared
+    aggregation point for solver work across every controller — the
+    same numbers :class:`StepStats` carries, so the two views never
+    disagree.  A no-op while metrics are disabled (the default).
+    """
+    reg = obs_metrics.active()
+    if reg is None:
+        return
+    reg.counter("engine_steps_total", help="engine steps (slots decided)").inc()
+    reg.histogram(
+        "engine_step_seconds", help="wall time of one engine step"
+    ).observe(stats.wall_time)
+    if stats.n_solves:
+        reg.counter(
+            "engine_solves_total", help="optimization solves run by the engine"
+        ).inc(stats.n_solves)
+    if stats.newton_iters:
+        reg.counter(
+            "engine_newton_iters_total",
+            help="Newton/trust-region iterations attributed to engine steps",
+        ).inc(stats.newton_iters)
+    if stats.warm_attempts:
+        reg.counter(
+            "engine_warm_attempts_total", help="warm-start candidates offered"
+        ).inc(stats.warm_attempts)
+    if stats.warm_hits:
+        reg.counter(
+            "engine_warm_hits_total", help="warm starts that seeded the solver"
+        ).inc(stats.warm_hits)
+    if stats.fallbacks:
+        reg.counter(
+            "engine_solver_fallbacks_total",
+            help="solves served by a fallback backend",
+        ).inc(stats.fallbacks)
 
 
 @dataclass

@@ -117,6 +117,20 @@ def render_serve_events(events: "list[dict]") -> str:
     return "\n".join(parts)
 
 
+def render_metrics(snapshot: dict) -> str:
+    """Render a metrics snapshot (:mod:`repro.obs`) as report tables.
+
+    One table for scalar counters/gauges and one for histograms with
+    estimated p50/p95/p99 latencies — the summary ``--metrics`` prints
+    after a run.  Delegates to
+    :func:`repro.obs.export.describe_snapshot`; :mod:`repro.obs` owns
+    the rendering because it must stay importable without numpy.
+    """
+    from repro.obs.export import describe_snapshot
+
+    return "== metrics ==\n" + describe_snapshot(snapshot)
+
+
 @dataclass
 class ExperimentResult:
     """Structured output of one reproduced table/figure.

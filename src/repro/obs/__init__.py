@@ -1,0 +1,64 @@
+"""Unified observability layer: metrics, tracing, exporters.
+
+One dependency-free subsystem answers "where did the time go?" across
+every layer of the library (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  fixed-bucket histograms (p50/p95/p99 estimation), **disabled by
+  default**: while no registry is active, instrumented code receives
+  shared no-op instruments and pays essentially nothing;
+* :mod:`repro.obs.tracing` — a span tracer with per-thread nesting and
+  optional JSONL streaming, same no-op default;
+* :mod:`repro.obs.export` — Prometheus text / human table / JSON
+  exporters over the plain-dict snapshot format.
+
+Instrumented layers: the barrier solver (Newton iterations, line-search
+backtracks, factorization time), the solve engine (per-step stats routed
+through :func:`repro.engine.stats.publish_step_stats`), and the serve
+runtime (per-slot phase accounting + events routed through
+:func:`repro.serve.events.publish_event`).  The CLI's ``--metrics PATH``
+flag enables everything for one run and writes the exports.
+"""
+
+from repro.obs import export, metrics, tracing
+from repro.obs.export import (
+    describe_snapshot,
+    load_snapshot_json,
+    parse_prometheus,
+    to_prometheus,
+    write_prometheus,
+    write_snapshot_json,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_from_snapshot,
+)
+from repro.obs.tracing import TRACE_SCHEMA, Span, Tracer, read_trace
+
+__all__ = [
+    "metrics",
+    "tracing",
+    "export",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "registry_from_snapshot",
+    "DEFAULT_BUCKETS",
+    "METRICS_SCHEMA",
+    "Tracer",
+    "Span",
+    "read_trace",
+    "TRACE_SCHEMA",
+    "to_prometheus",
+    "parse_prometheus",
+    "describe_snapshot",
+    "write_prometheus",
+    "write_snapshot_json",
+    "load_snapshot_json",
+]

@@ -20,8 +20,59 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.obs import metrics as obs_metrics
+
 #: Schema identifier stamped on the serve_start event.
 EVENT_SCHEMA = "repro-serve-events/v1"
+
+
+def publish_event(record: dict) -> None:
+    """Mirror one serve event into the active metrics registry.
+
+    Called by :meth:`EventLog.emit` for every event, so the registry
+    counts exactly what the event log records — one source of truth
+    whether a run is inspected live (``--metrics``) or replayed from
+    its JSONL log (``repro replay --metrics``).  A no-op while metrics
+    are disabled (the default).
+    """
+    reg = obs_metrics.active()
+    if reg is None:
+        return
+    kind = record.get("event")
+    if kind == "slot_decided":
+        reg.counter(
+            "serve_slots_total",
+            help="slots decided, by serve path",
+            path=record.get("path", "?"),
+        ).inc()
+        reg.histogram(
+            "serve_decide_seconds",
+            help="decision wall time per slot (primary attempt + fallback)",
+        ).observe(float(record.get("wall_time", 0.0)))
+        if record.get("deadline_missed"):
+            reg.counter(
+                "serve_deadline_misses_total",
+                help="slots whose primary solve exceeded the deadline budget",
+            ).inc()
+        if not record.get("served", True):
+            reg.counter(
+                "serve_unserved_total",
+                help="slots not fully covered even by the greedy fallback",
+            ).inc()
+    elif kind == "fallback":
+        reg.counter(
+            "serve_fallbacks_total",
+            help="fallback-chain engagements, by trigger",
+            reason=record.get("reason", "?"),
+        ).inc()
+    elif kind == "checkpoint_written":
+        reg.counter(
+            "serve_checkpoints_total", help="checkpoints written"
+        ).inc()
+    elif kind == "source_error":
+        reg.counter(
+            "serve_source_errors_total", help="malformed source records"
+        ).inc()
 
 
 class EventLog:
@@ -41,6 +92,7 @@ class EventLog:
             record["t"] = int(t)
         record.update(payload)
         self.events.append(record)
+        publish_event(record)
         if self._fh is not None:
             self._fh.write(json.dumps(record, sort_keys=True) + "\n")
             self._fh.flush()

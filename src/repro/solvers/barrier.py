@@ -38,11 +38,15 @@ precision supports and stalls Newton.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import scipy.linalg as la
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.solvers.convex import (
     ConvexSolverError,
     SmoothConvexProgram,
@@ -231,9 +235,19 @@ class _Workspace:
         return val
 
     def newton_step(
-        self, v: np.ndarray, tau: float, slack: "np.ndarray | None" = None
+        self,
+        v: np.ndarray,
+        tau: float,
+        slack: "np.ndarray | None" = None,
+        fact_out: "list[float] | None" = None,
     ) -> tuple[np.ndarray, float]:
-        """Newton direction for phi_tau at ``v``; returns (dv, decrement^2)."""
+        """Newton direction for phi_tau at ``v``; returns (dv, decrement^2).
+
+        ``fact_out`` is an optional one-element accumulator for the
+        seconds spent factorizing/solving the Newton system — supplied
+        only while the metrics registry is enabled, so the disabled
+        path pays no clock reads.
+        """
         prog = self.prog
         obj = prog.objective
         n = obj.n
@@ -296,6 +310,7 @@ class _Workspace:
             else:
                 H = sp.diags(hdiag).tocsc()
 
+        fact_start = time.perf_counter() if fact_out is not None else 0.0
         if self.dense:
             Hd = H.reshape(-1)
             diag = Hd[self._diag_flat]
@@ -314,6 +329,8 @@ class _Workspace:
                 dv = spla.spsolve(H, -grad)
             except RuntimeError as exc:  # pragma: no cover - rare
                 raise ConvexSolverError(f"sparse Newton solve failed: {exc}") from exc
+        if fact_out is not None:
+            fact_out[0] += time.perf_counter() - fact_start
 
         return dv, float(-grad @ dv)
 
@@ -401,6 +418,41 @@ def barrier_solve(
         raise ConvexSolverError("barrier method needs at least one constraint")
     has_rows = ws.b.shape[0] > 0
 
+    # Observability: resolved once per solve.  While the registry is
+    # disabled (the default) ``reg`` is None, ``fact_out`` stays None
+    # (newton_step then reads no clocks) and only the two integer
+    # tallies below run — the instrumentation cost of a disabled solve
+    # is a handful of local increments.
+    reg = obs_metrics.active()
+    fact_out: "list[float] | None" = [0.0] if reg is not None else None
+    newton_here = 0
+    backtracks = 0
+
+    def _publish(outcome: str) -> None:
+        if info is not None:
+            info.backtracks += backtracks
+            if fact_out is not None:
+                info.fact_time_s += fact_out[0]
+        if reg is not None:
+            reg.counter(
+                "solver_solves_total",
+                help="optimization solves by backend and outcome",
+                backend="barrier",
+                outcome=outcome,
+            ).inc()
+            reg.counter(
+                "solver_newton_iters_total",
+                help="Newton iterations spent in the barrier solver",
+            ).inc(newton_here)
+            reg.counter(
+                "solver_backtracks_total",
+                help="Armijo line-search backtracking steps",
+            ).inc(backtracks)
+            reg.histogram(
+                "solver_factorization_seconds",
+                help="Newton-system assembly + factorization time per solve",
+            ).observe(fact_out[0])
+
     v = None
     if v0 is not None:
         v0 = np.asarray(v0, dtype=float)
@@ -412,63 +464,75 @@ def barrier_solve(
             raise ConvexSolverError("phase-I point not strictly interior")
 
     tau = options.barrier_t0
+    span = obs_tracing.span("barrier.solve", n=prog.objective.n)
     # Line-search scratch (same ops as the allocating expressions they
     # replace — ``x + step*y`` — so trial points are bitwise unchanged).
     trial_v = np.empty_like(v)
     trial_s = np.empty(ws.b.shape[0])
-    while True:
-        # Centering: damped Newton on phi_tau.  The decrement target
-        # scales with tau (phi_tau's natural scale).
-        center_tol = 1e-9 * (1.0 + tau * 1e-4)
-        stalled = False
-        for _ in range(options.max_newton):
-            slack = ws.slacks(v, buffered=True)
-            dv, dec_sq = ws.newton_step(v, tau, slack=slack)
-            if info is not None:
-                info.newton_iters += 1
-            if dec_sq / 2.0 <= center_tol:
-                break
-            if has_rows:
-                if ws.dense:
-                    Adv = np.dot(ws.A, dv, out=ws._adv_m)
-                else:
-                    Adv = ws.A @ dv
-            else:
-                Adv = slack
-            step = ws.max_step(v, dv, slack=slack, Adv=Adv)
-            phi0 = ws.phi(v, tau, slack=slack)
-            while step > 1e-14:
-                if has_rows:
-                    np.multiply(Adv, step, out=trial_s)
-                    trial_slack = np.subtract(slack, trial_s, out=trial_s)
-                else:
-                    trial_slack = slack
-                np.multiply(dv, step, out=trial_v)
-                np.add(v, trial_v, out=trial_v)
-                trial_phi = ws.phi(trial_v, tau, slack=trial_slack)
-                if trial_phi <= phi0 - _ARMIJO_ALPHA * step * dec_sq:
+    with span:
+        while True:
+            # Centering: damped Newton on phi_tau.  The decrement target
+            # scales with tau (phi_tau's natural scale).
+            center_tol = 1e-9 * (1.0 + tau * 1e-4)
+            stalled = False
+            for _ in range(options.max_newton):
+                slack = ws.slacks(v, buffered=True)
+                dv, dec_sq = ws.newton_step(v, tau, slack=slack, fact_out=fact_out)
+                newton_here += 1
+                if info is not None:
+                    info.newton_iters += 1
+                if dec_sq / 2.0 <= center_tol:
                     break
-                step *= _ARMIJO_BETA
+                if has_rows:
+                    if ws.dense:
+                        Adv = np.dot(ws.A, dv, out=ws._adv_m)
+                    else:
+                        Adv = ws.A @ dv
+                else:
+                    Adv = slack
+                step = ws.max_step(v, dv, slack=slack, Adv=Adv)
+                phi0 = ws.phi(v, tau, slack=slack)
+                while step > 1e-14:
+                    if has_rows:
+                        np.multiply(Adv, step, out=trial_s)
+                        trial_slack = np.subtract(slack, trial_s, out=trial_s)
+                    else:
+                        trial_slack = slack
+                    np.multiply(dv, step, out=trial_v)
+                    np.add(v, trial_v, out=trial_v)
+                    trial_phi = ws.phi(trial_v, tau, slack=trial_slack)
+                    if trial_phi <= phi0 - _ARMIJO_ALPHA * step * dec_sq:
+                        break
+                    step *= _ARMIJO_BETA
+                    backtracks += 1
+                else:
+                    stalled = True
+                    break
+                # The accepted trial point was just materialized in
+                # trial_v; adopt it and recycle the old ``v`` array as the
+                # next trial scratch.
+                v, trial_v = trial_v, v
             else:
                 stalled = True
-                break
-            # The accepted trial point was just materialized in
-            # trial_v; adopt it and recycle the old ``v`` array as the
-            # next trial scratch.
-            v, trial_v = trial_v, v
-        else:
-            stalled = True
 
-        gap = ws.m_total / tau
-        scale = 1.0 + abs(prog.objective.value(v))
-        if gap <= options.tol * scale:
-            return v
-        if stalled:
-            # Accept a late-path stall if the remaining gap is modest;
-            # otherwise report failure so the caller can fall back.
-            if gap <= 1e3 * options.tol * scale:
+            gap = ws.m_total / tau
+            scale = 1.0 + abs(prog.objective.value(v))
+            if gap <= options.tol * scale:
+                span.set(newton_iters=newton_here, backtracks=backtracks)
+                _publish("converged")
                 return v
-            raise ConvexSolverError(
-                f"Newton stalled at tau={tau:.2e} (gap {gap:.2e}, scale {scale:.2e})"
-            )
-        tau *= options.barrier_mu
+            if stalled:
+                # Accept a late-path stall if the remaining gap is modest;
+                # otherwise report failure so the caller can fall back.
+                if gap <= 1e3 * options.tol * scale:
+                    span.set(newton_iters=newton_here, backtracks=backtracks)
+                    _publish("converged")
+                    return v
+                span.set(
+                    newton_iters=newton_here, backtracks=backtracks, stalled=True
+                )
+                _publish("stalled")
+                raise ConvexSolverError(
+                    f"Newton stalled at tau={tau:.2e} (gap {gap:.2e}, scale {scale:.2e})"
+                )
+            tau *= options.barrier_mu

@@ -52,6 +52,12 @@ class SolveInfo:
     newton_iters:
         Newton (barrier) or trust-region iterations spent, summed over
         backends when a fallback was needed.
+    backtracks:
+        Armijo line-search backtracking steps taken (barrier only).
+    fact_time_s:
+        Seconds spent assembling and factorizing Newton systems
+        (barrier only; measured only while the metrics registry is
+        enabled, otherwise stays 0.0).
     fallback:
         True when the requested backend failed and a fallback backend
         produced the result.
@@ -59,6 +65,8 @@ class SolveInfo:
 
     backend: str = ""
     newton_iters: int = 0
+    backtracks: int = 0
+    fact_time_s: float = 0.0
     fallback: bool = False
 
 

@@ -1,12 +1,32 @@
-"""Minimal wall-clock timer used by the experiment runner."""
+"""Wall-clock timing, backed by the observability span tracer.
+
+:class:`Timer` is the library's one way to measure elapsed wall time.
+It is re-entry and reuse safe — each ``__enter__`` pushes onto a stack,
+so the same instance can be nested (recursive code paths) or reused
+sequentially, and ``elapsed`` always reports the most recently finished
+interval.  When the timer has a ``name`` and tracing is enabled
+(:mod:`repro.obs.tracing`), every interval is additionally recorded as
+a span on the active tracer; with tracing disabled (the default) the
+cost is two ``perf_counter`` calls and a list push/pop.
+"""
 
 from __future__ import annotations
 
 import time
 
+from repro.obs import tracing
+
 
 class Timer:
     """Context manager measuring elapsed wall-clock seconds.
+
+    Parameters
+    ----------
+    name:
+        Optional span name; when set and a tracer is active, each
+        timed interval is also recorded as a span (with ``attrs``).
+    attrs:
+        Attributes attached to emitted spans.
 
     Example
     -------
@@ -14,17 +34,40 @@ class Timer:
     ...     _ = sum(range(1000))
     >>> t.elapsed >= 0.0
     True
+
+    Nested and repeated use of one instance is safe::
+
+    >>> t = Timer()
+    >>> with t:
+    ...     with t:
+    ...         pass
     """
 
-    def __init__(self) -> None:
+    __slots__ = ("name", "attrs", "elapsed", "_stack")
+
+    def __init__(self, name: "str | None" = None, **attrs) -> None:
+        self.name = name
+        self.attrs = attrs
         self.elapsed: float = 0.0
-        self._start: float | None = None
+        self._stack: "list[tuple[float, object | None]]" = []
+
+    @property
+    def running(self) -> bool:
+        """Is at least one interval currently open?"""
+        return bool(self._stack)
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        span = None
+        if self.name is not None and tracing.enabled():
+            span = tracing.span(self.name, **self.attrs)
+            span.__enter__()
+        self._stack.append((time.perf_counter(), span))
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
-        self._start = None
+        if not self._stack:
+            raise RuntimeError("Timer.__exit__ without a matching __enter__")
+        start, span = self._stack.pop()
+        self.elapsed = time.perf_counter() - start
+        if span is not None:
+            span.__exit__(*exc)

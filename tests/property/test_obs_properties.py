@@ -1,0 +1,121 @@
+"""Property-based round-trip tests for the observability layer.
+
+Two serialization surfaces must be lossless for aggregates:
+
+- ``StepStats.to_dict`` / ``from_dict`` (checkpoint files carry these);
+- metrics-registry ``snapshot`` / ``registry_from_snapshot`` and its
+  Prometheus text rendering (``--metrics`` output, CI obs-smoke).
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.stats import StepStats
+from repro.obs.export import parse_prometheus, to_prometheus
+from repro.obs.metrics import MetricsRegistry, registry_from_snapshot
+
+# ----------------------------------------------------------------------
+# StepStats round trip
+# ----------------------------------------------------------------------
+step_stats = st.builds(
+    StepStats,
+    t=st.integers(min_value=0, max_value=10**6),
+    wall_time=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    n_solves=st.integers(min_value=0, max_value=100),
+    newton_iters=st.integers(min_value=0, max_value=10**4),
+    warm_attempts=st.integers(min_value=0, max_value=100),
+    warm_hits=st.integers(min_value=0, max_value=100),
+    fallbacks=st.integers(min_value=0, max_value=100),
+    backends=st.tuples(st.sampled_from(["barrier", "lp", "greedy"])),
+)
+
+
+@given(stats=step_stats)
+@settings(max_examples=200, deadline=None)
+def test_step_stats_round_trip(stats):
+    assert StepStats.from_dict(stats.to_dict()) == stats
+
+
+@given(stats=step_stats)
+@settings(max_examples=50, deadline=None)
+def test_step_stats_dict_json_serializable(stats):
+    payload = stats.to_dict()
+    assert StepStats.from_dict(json.loads(json.dumps(payload))) == stats
+
+
+# ----------------------------------------------------------------------
+# Metrics snapshot round trip
+# ----------------------------------------------------------------------
+metric_name = st.sampled_from(
+    ["slots_total", "lat_seconds", "depth", "misses_total", "work_seconds"]
+)
+label_sets = st.dictionaries(
+    st.sampled_from(["path", "phase", "backend"]),
+    st.sampled_from(["primary", "hold", "greedy", "solve", "barrier"]),
+    max_size=2,
+)
+finite_values = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def populated_registry(draw):
+    """A registry with random counters/gauges/histograms populated.
+
+    Name->kind assignment is made consistent (a registry enforces one
+    kind per family) by deriving the kind from the name.
+    """
+    reg = MetricsRegistry()
+    kinds = {
+        "slots_total": "counter",
+        "misses_total": "counter",
+        "depth": "gauge",
+        "lat_seconds": "histogram",
+        "work_seconds": "histogram",
+    }
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        name = draw(metric_name)
+        labels = draw(label_sets)
+        kind = kinds[name]
+        if kind == "counter":
+            reg.counter(name, **labels).inc(draw(finite_values))
+        elif kind == "gauge":
+            reg.gauge(name, **labels).set(draw(finite_values))
+        else:
+            hist = reg.histogram(name, **labels)
+            for value in draw(
+                st.lists(finite_values, min_size=0, max_size=8)
+            ):
+                hist.observe(value)
+    return reg
+
+
+@given(reg=populated_registry())
+@settings(max_examples=100, deadline=None)
+def test_snapshot_registry_round_trip(reg):
+    snap = reg.snapshot()
+    assert registry_from_snapshot(snap).snapshot() == snap
+
+
+@given(reg=populated_registry())
+@settings(max_examples=50, deadline=None)
+def test_snapshot_survives_json(reg):
+    snap = reg.snapshot()
+    assert registry_from_snapshot(json.loads(json.dumps(snap))).snapshot() == snap
+
+
+@given(reg=populated_registry())
+@settings(max_examples=50, deadline=None)
+def test_prometheus_text_parses_and_preserves_scalars(reg):
+    snap = reg.snapshot()
+    samples = parse_prometheus(to_prometheus(snap))
+    for entry in snap["metrics"]:
+        key_labels = tuple(sorted(entry["labels"].items()))
+        if entry["type"] == "histogram":
+            assert samples[(entry["name"] + "_count", key_labels)] == entry["count"]
+            assert samples[(entry["name"] + "_sum", key_labels)] == entry["sum"]
+            # The +Inf bucket always equals the total count.
+            inf_key = tuple(sorted(list(entry["labels"].items()) + [("le", "+Inf")]))
+            assert samples[(entry["name"] + "_bucket", inf_key)] == entry["count"]
+        else:
+            assert samples[(entry["name"], key_labels)] == entry["value"]

@@ -89,6 +89,54 @@ class TestServeCommand:
         assert "no events" in capsys.readouterr().err
 
 
+class TestMetricsFlag:
+    SMALL = TestServeCommand.SMALL
+
+    def test_serve_with_metrics_exports_and_disables(self, capsys, trace_csv, tmp_path):
+        from repro.obs import metrics, tracing
+        from repro.obs.export import parse_prometheus
+
+        prom = tmp_path / "serve.prom"
+        rc = main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "4",
+             "--metrics", str(prom), *self.SMALL]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        # The layer is switched off again after the command.
+        assert metrics.active() is None and tracing.active() is None
+        samples = parse_prometheus(prom.read_text())
+        assert samples[("serve_slot_seconds_count", ())] == 4
+        assert samples[("serve_slots_total", (("path", "primary"),))] == 4
+        trace = tmp_path / "serve.prom.trace.jsonl"
+        assert trace.exists()
+        assert "== metrics ==" in out
+        assert "serve_phase_seconds" in out
+
+    def test_replay_with_metrics_reaggregates(self, capsys, trace_csv, tmp_path):
+        from repro.obs.export import parse_prometheus
+
+        events = tmp_path / "events.jsonl"
+        assert main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "3",
+             "--events", str(events), *self.SMALL]
+        ) == 0
+        capsys.readouterr()
+        prom = tmp_path / "replay.prom"
+        assert main(["replay", str(events), "--metrics", str(prom)]) == 0
+        samples = parse_prometheus(prom.read_text())
+        assert samples[("serve_slots_total", (("path", "primary"),))] == 3
+        assert samples[("serve_decide_seconds_count", ())] == 3
+
+    def test_metrics_written_even_when_command_fails(self, capsys, tmp_path):
+        empty = tmp_path / "none.jsonl"
+        empty.write_text("")
+        prom = tmp_path / "fail.prom"
+        assert main(["replay", str(empty), "--metrics", str(prom)]) == 1
+        # The registry had nothing, but the export still happened.
+        assert prom.exists()
+
+
 class TestRun:
     def test_run_table2(self, capsys):
         assert main(["run", "table2"]) == 0

@@ -1,0 +1,84 @@
+"""Tests for experiment sizing (repro.evaluation.scale)."""
+
+import pytest
+
+from repro.evaluation import ExperimentScale
+from repro.evaluation.experiments import make_instance, make_trace
+
+
+class TestFromEnv:
+    def test_default_is_reduced(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        scale = ExperimentScale.from_env()
+        assert not scale.full
+        assert scale.n_tier2 == 6
+        assert scale.n_tier1 == 12
+        assert scale.horizon_wiki == 96
+        assert scale.horizon_worldcup == 120
+
+    def test_zero_is_reduced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "0")
+        assert not ExperimentScale.from_env().full
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        scale = ExperimentScale.from_env()
+        assert scale.full
+        # None means "all clouds" — 18 tier-2 and 48 tier-1 at paper scale.
+        assert scale.n_tier2 is None
+        assert scale.n_tier1 is None
+        assert scale.horizon_wiki == 500
+        assert scale.horizon_worldcup == 600
+
+    def test_other_values_are_reduced(self, monkeypatch):
+        # Only the literal "1" selects paper scale.
+        monkeypatch.setenv("REPRO_FULL_SCALE", "true")
+        assert not ExperimentScale.from_env().full
+
+
+class TestReducedKeepsStructure:
+    """The reduction must keep the paper figures' qualitative structure."""
+
+    def setup_method(self):
+        self.scale = ExperimentScale(
+            n_tier2=6, n_tier1=12, horizon_wiki=96, horizon_worldcup=120, full=False
+        )
+
+    def test_horizons_are_multi_day(self):
+        # Diurnal + weekly structure needs at least 4 days per regime.
+        assert self.scale.horizon_wiki >= 96
+        assert self.scale.horizon_worldcup >= 96
+
+    @pytest.mark.parametrize("workload", ["wikipedia", "worldcup"])
+    def test_both_workload_regimes_generate(self, workload):
+        trace = make_trace(workload, self.scale)
+        horizon = (
+            self.scale.horizon_wiki
+            if workload == "wikipedia"
+            else self.scale.horizon_worldcup
+        )
+        assert len(trace) == horizon
+        assert (trace >= 0).all()
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_sla_subsets_up_to_k4(self, k):
+        # Fig 7 sweeps k in 1..4; the reduced tier-2 pool (6 clouds)
+        # must still admit every subset size.
+        tiny = ExperimentScale(
+            n_tier2=6, n_tier1=12, horizon_wiki=8, horizon_worldcup=8, full=False
+        )
+        instance = make_instance(tiny, k=k)
+        network = instance.network
+        assert network.n_tier2 == 6
+        assert network.n_tier1 == 12
+        for j in range(network.n_tier1):
+            subset = network.sla_tier2_of(j)
+            assert len(subset) == k
+            assert len(set(subset.tolist())) == k
+
+
+class TestTiny:
+    def test_tiny_is_reduced(self):
+        scale = ExperimentScale.tiny()
+        assert not scale.full
+        assert scale.n_tier2 == 3 and scale.n_tier1 == 5

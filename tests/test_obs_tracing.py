@@ -1,0 +1,152 @@
+"""Tests for the span tracer (repro.obs.tracing)."""
+
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import TRACE_SCHEMA, Tracer, read_trace
+
+
+class TestTracer:
+    def test_records_finished_span(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="unit"):
+            pass
+        (rec,) = tracer.spans
+        assert rec["schema"] == TRACE_SCHEMA
+        assert rec["name"] == "work"
+        assert rec["attrs"] == {"kind": "unit"}
+        assert rec["parent_id"] is None
+        assert rec["depth"] == 0
+        assert rec["duration_s"] >= 0.0
+
+    def test_nesting_sets_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, outer_rec = tracer.spans  # inner closes first
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer.span_id
+        assert inner["depth"] == 1
+        assert outer_rec["depth"] == 0
+        # The child is contained in the parent's interval.
+        assert inner["start_s"] >= outer_rec["start_s"]
+        assert (
+            inner["start_s"] + inner["duration_s"]
+            <= outer_rec["start_s"] + outer_rec["duration_s"] + 1e-9
+        )
+
+    def test_set_attaches_attrs_mid_span(self):
+        tracer = Tracer()
+        with tracer.span("solve") as s:
+            s.set(outcome="converged", iters=5)
+        (rec,) = tracer.spans
+        assert rec["attrs"] == {"outcome": "converged", "iters": 5}
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("w"):
+                pass
+        ids = [r["span_id"] for r in tracer.spans]
+        assert len(set(ids)) == 5
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("thread-span"):
+                done.wait(1.0)
+
+        with tracer.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            done.set()
+            t.join()
+        by_name = {r["name"]: r for r in tracer.spans}
+        # The worker's span must NOT be parented under main's open span.
+        assert by_name["thread-span"]["parent_id"] is None
+        assert by_name["thread-span"]["depth"] == 0
+
+    def test_out_of_order_exit_tolerated(self):
+        tracer = Tracer()
+        a = tracer.span("a")
+        b = tracer.span("b")
+        a.__enter__()
+        b.__enter__()
+        a.__exit__(None, None, None)  # close parent first
+        b.__exit__(None, None, None)
+        assert {r["name"] for r in tracer.spans} == {"a", "b"}
+
+    def test_keep_cap_counts_dropped(self):
+        tracer = Tracer(keep=2)
+        for _ in range(5):
+            with tracer.span("w"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+
+class TestTraceFile:
+    def test_streams_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path=path) as tracer:
+            with tracer.span("outer"):
+                with tracer.span("inner", t=3):
+                    pass
+        records = read_trace(path)
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[0]["attrs"] == {"t": 3}
+
+    def test_file_gets_everything_past_keep(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path=path, keep=1) as tracer:
+            for _ in range(4):
+                with tracer.span("w"):
+                    pass
+        assert len(tracer.spans) == 1 and tracer.dropped == 3
+        assert len(read_trace(path)) == 4
+
+    def test_read_trace_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(path)
+
+    def test_read_trace_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n', encoding="utf-8")
+        assert read_trace(path) == [{"a": 1}, {"b": 2}]
+
+
+class TestActiveSwitch:
+    def test_disabled_returns_null_span(self):
+        assert not tracing.enabled()
+        s = tracing.span("anything", key="value")
+        assert s is tracing.NULL_SPAN
+        with s as inner:
+            inner.set(more="attrs")  # inert
+
+    def test_enable_disable(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = tracing.enable(path=str(path))
+        try:
+            assert tracing.active() is tracer
+            with tracing.span("work"):
+                pass
+        finally:
+            tracing.disable()
+        assert tracing.active() is None
+        assert [r["name"] for r in read_trace(path)] == ["work"]
+
+    def test_use_restores_previous(self):
+        outer = tracing.enable()
+        try:
+            with tracing.use() as inner:
+                assert tracing.active() is inner
+            assert tracing.active() is outer
+        finally:
+            tracing.disable()

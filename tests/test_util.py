@@ -85,3 +85,50 @@ class TestTimer:
             time.sleep(0.005)
         assert t.elapsed >= 0.004
         assert t.elapsed != first
+
+    def test_nested_reentry_same_instance(self):
+        # Re-entering one Timer must not corrupt the outer measurement:
+        # each __exit__ pops its own start mark.
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+            with t:
+                pass
+            inner = t.elapsed
+        assert inner < 0.005
+        assert t.elapsed >= 0.009
+
+    def test_running_property(self):
+        t = Timer()
+        assert not t.running
+        with t:
+            assert t.running
+        assert not t.running
+
+    def test_exit_without_enter_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError, match="without a matching"):
+            t.__exit__(None, None, None)
+
+    def test_named_timer_emits_span(self, tmp_path):
+        from repro.obs import tracing
+
+        path = tmp_path / "trace.jsonl"
+        tracing.enable(path=str(path))
+        try:
+            with Timer("unit.work", job="t1"):
+                pass
+            with Timer():  # unnamed: must not emit a span
+                pass
+        finally:
+            tracing.disable()
+        records = tracing.read_trace(path)
+        assert [r["name"] for r in records] == ["unit.work"]
+        assert records[0]["attrs"] == {"job": "t1"}
+        assert records[0]["duration_s"] >= 0.0
+
+    def test_no_span_when_tracing_disabled(self):
+        # Disabled tracing is the default; a named Timer still works.
+        with Timer("unit.work") as t:
+            pass
+        assert t.elapsed >= 0.0
