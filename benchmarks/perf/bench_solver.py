@@ -24,6 +24,13 @@ Scenario scales:
 * ``medium`` — the repo's default laptop scale (6x12 clouds, 96 slots,
   ``k=2``), the scale the figure experiments run at.
 
+The ``batched`` scenarios time the ``--backend batched`` solver layer
+(component decomposition + closed-form stars + batched block-diagonal
+Newton, see docs/SOLVER_BACKENDS.md) against the ``sequential``
+reference on the same instance, and record the residual decision gap
+alongside the speedup.  ``batched-k2-parity`` pins the k=2 fallback
+case, where the two backends are bitwise identical.
+
 The JSON is self-describing (``schema`` key); every trajectory scenario
 records median wall time over ``--repeats`` runs, total Newton
 iterations, solve count, and warm-start hit rate for the baseline
@@ -110,6 +117,82 @@ def bench_trajectory(
 
 
 # ----------------------------------------------------------------------
+# Backend scenario: sequential vs batched per-slot solve strategy
+# ----------------------------------------------------------------------
+def bench_backend(
+    name: str,
+    scale,
+    workload: str,
+    k: int,
+    epsilon: float,
+    repeats: int,
+) -> dict:
+    """Time RegularizedOnline under the two solver backends.
+
+    Unlike the flags scenarios the two configurations take *different*
+    numerical paths (closed-form stars + batched Newton vs the coupled
+    barrier), so alongside wall time the scenario records the maximum
+    relative decision deviation (tier-2 totals, link allocations, total
+    cost) — the equivalence contract from docs/SOLVER_BACKENDS.md.
+    """
+    from repro.core.online import RegularizedOnline
+    from repro.core.subproblem import SubproblemConfig
+    from repro.evaluation.experiments import make_instance
+    from repro.evaluation.runner import run_algorithm
+    from repro.model.costs import evaluate_cost
+
+    instance = make_instance(scale, workload, k=k)
+    net = instance.network
+
+    def measure(backend: str) -> "tuple[dict, object]":
+        times, stats, result = [], None, None
+        for _ in range(repeats):
+            cfg = SubproblemConfig(epsilon=epsilon, backend=backend)
+            result = run_algorithm("bench", RegularizedOnline(cfg), instance)
+            times.append(result.runtime)
+            stats = result.stats
+        return _config_metrics(times, stats), result.trajectory
+
+    sequential, traj_seq = measure("sequential")
+    batched, traj_bat = measure("batched")
+
+    def rel_gap(a, b):
+        a, b = np.asarray(a, float), np.asarray(b, float)
+        return float(np.max(np.abs(a - b) / (1.0 + np.abs(a))))
+
+    cost_seq = evaluate_cost(instance, traj_seq).total
+    cost_bat = evaluate_cost(instance, traj_bat).total
+    return {
+        "name": name,
+        "kind": "backend",
+        "algorithm": "RegularizedOnline",
+        "workload": workload,
+        "scale": {
+            "n_tier2": scale.n_tier2,
+            "n_tier1": scale.n_tier1,
+            "horizon": scale.horizon_wiki
+            if workload == "wikipedia"
+            else scale.horizon_worldcup,
+            "k": k,
+        },
+        "epsilon": epsilon,
+        "repeats": repeats,
+        "sequential": sequential,
+        "batched": batched,
+        "speedup": round(
+            sequential["wall_time_s"] / batched["wall_time_s"], 3
+        ),
+        "decision_gap": {
+            "tier2_totals_rel": rel_gap(
+                traj_seq.tier2_totals(net), traj_bat.tier2_totals(net)
+            ),
+            "link_rel": rel_gap(traj_seq.y, traj_bat.y),
+            "cost_rel": abs(cost_bat - cost_seq) / (1.0 + abs(cost_seq)),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # Kernel scenario: fused vs loop objective evaluations on one program
 # ----------------------------------------------------------------------
 def bench_kernels(scale, workload: str, k: int, calls: int) -> dict:
@@ -172,11 +255,26 @@ def run(repeats: int, smoke: bool) -> dict:
             repeats=1 if smoke else repeats,
         ),
     ]
+    scenarios.append(
+        bench_backend(
+            "batched", tiny if smoke else ExperimentScale.from_env(),
+            "wikipedia", k=1, epsilon=1e-2, repeats=1 if smoke else repeats,
+        )
+    )
     if not smoke:
         scenarios.append(
             bench_trajectory(
                 "medium", ExperimentScale.from_env(), "wikipedia",
                 k=2, epsilon=1e-2, repeats=repeats,
+            )
+        )
+        # k=2 parity row: one whole-graph component -> the batched
+        # backend falls back to the coupled solve; speedup ~1x and the
+        # decision gaps are exactly zero (bitwise fallback).
+        scenarios.append(
+            bench_backend(
+                "batched-k2-parity", ExperimentScale.from_env(),
+                "wikipedia", k=2, epsilon=1e-2, repeats=repeats,
             )
         )
     return {
@@ -221,6 +319,14 @@ def main(argv: "list[str] | None" = None) -> int:
                 f" -> optimized {sc['optimized']['wall_time_s']:.3f}s"
                 f"  ({sc['speedup']:.2f}x, same Newton path:"
                 f" {sc['same_newton_path']})"
+            )
+        elif sc["kind"] == "backend":
+            gap = sc["decision_gap"]
+            print(
+                f"{sc['name']:8s} sequential {sc['sequential']['wall_time_s']:.3f}s"
+                f" -> batched {sc['batched']['wall_time_s']:.3f}s"
+                f"  ({sc['speedup']:.2f}x, decision gap X {gap['tier2_totals_rel']:.1e}"
+                f" y {gap['link_rel']:.1e} cost {gap['cost_rel']:.1e})"
             )
         else:
             parts = ", ".join(

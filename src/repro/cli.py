@@ -26,35 +26,54 @@ from pathlib import Path
 from repro.evaluation import ExperimentScale, experiments
 
 
-def _registry(scale: ExperimentScale, jobs: "int | None" = None):
+def _registry(
+    scale: ExperimentScale,
+    jobs: "int | None" = None,
+    backend: str = "sequential",
+):
     windows = (2, 4, 6, 8, 10) if scale.full else (2, 4, 6)
     return {
         "table1": lambda a: experiments.table1_electricity(),
         "table2": lambda a: experiments.table2_bandwidth(),
         "fig4": lambda a: experiments.fig4_workloads(scale),
         "fig5": lambda a: experiments.fig5_cost_no_prediction(
-            scale, a.workload, jobs=jobs
+            scale, a.workload, jobs=jobs, backend=backend
         ),
         "fig6": lambda a: experiments.fig6_ratio_vs_epsilon(
-            scale, a.workload, jobs=jobs
+            scale, a.workload, jobs=jobs, backend=backend
         ),
         "fig7": lambda a: experiments.fig7_sla(
-            scale, a.workload, lcp_lookback=12, jobs=jobs
+            scale, a.workload, lcp_lookback=12, jobs=jobs, backend=backend
         ),
         "fig8": lambda a: experiments.fig8_prediction_window(
-            scale, a.workload, windows=windows, jobs=jobs
+            scale, a.workload, windows=windows, jobs=jobs, backend=backend
         ),
         "fig9": lambda a: experiments.fig9_noisy_prediction(
-            scale, a.workload, windows=windows, jobs=jobs
+            scale, a.workload, windows=windows, jobs=jobs, backend=backend
         ),
         "fig10": lambda a: experiments.fig10_error_sweep(
-            scale, a.workload, jobs=jobs
+            scale, a.workload, jobs=jobs, backend=backend
         ),
         "thm23": lambda a: experiments.theorem23_adversarial(),
         "ntier": lambda a: experiments.ntier_generalization(
             horizon=48 if scale.full else 24
         ),
     }
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.solvers.backends import available_backends
+
+    parser.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="sequential",
+        help="solver backend for the regularized subproblems: "
+        "'sequential' solves each slot as one coupled program (the "
+        "reference), 'batched' splits it into SLA components solved by "
+        "closed forms and batched block-diagonal Newton (same "
+        "decisions, faster; see docs/SOLVER_BACKENDS.md)",
+    )
 
 
 def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
@@ -114,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run sweep points on N worker processes (results and "
         "--stats output are identical to a serial run)",
     )
+    _add_backend_flag(run)
     _add_metrics_flag(run)
 
     serve = sub.add_parser(
@@ -180,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--inject-seed", type=int, default=0, help="fault-injection seed"
     )
+    _add_backend_flag(serve)
     _add_metrics_flag(serve)
 
     replay = sub.add_parser(
@@ -211,7 +232,9 @@ def _cmd_serve(args) -> int:
         n_tier2=args.n_tier2,
         n_tier1=args.n_tier1,
     )
-    controller = RegularizedOnline(SubproblemConfig(epsilon=args.epsilon))
+    controller = RegularizedOnline(
+        SubproblemConfig(epsilon=args.epsilon, backend=args.backend)
+    )
     injector = None
     if args.inject_stall or args.inject_fail:
         injector = FaultInjector(
@@ -283,7 +306,11 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
         if getattr(args, "full", False)
         else ExperimentScale.from_env()
     )
-    registry = _registry(scale, jobs=getattr(args, "jobs", None))
+    registry = _registry(
+        scale,
+        jobs=getattr(args, "jobs", None),
+        backend=getattr(args, "backend", "sequential"),
+    )
     if args.experiment == "all":
         names = list(registry)
     elif args.experiment in registry:

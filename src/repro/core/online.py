@@ -27,7 +27,7 @@ The config type is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -135,14 +135,26 @@ class RegularizedOnline:
             "prev_y": state.prev.y.copy(),
             "prev_s": state.prev.s.copy(),
             "warm": None if state.warm is None else state.warm.copy(),
+            "backend": self.config.backend,
         }
 
     def restore_state(self, source, snapshot: dict) -> OnlineState:
-        """Inverse of :meth:`export_state` (fresh subproblem structure)."""
+        """Inverse of :meth:`export_state` (fresh subproblem structure).
+
+        When the snapshot records a solver backend (it always does for
+        checkpoints written by this version) the restored subproblem
+        uses it, overriding the config's — so resuming a checkpoint
+        continues bitwise-identically on the backend that wrote it even
+        if the resuming process was launched with a different default.
+        """
         net = source_network(source)
         warm = snapshot.get("warm")
+        config = self.config
+        recorded = snapshot.get("backend")
+        if recorded is not None and str(recorded) != config.backend:
+            config = replace(config, backend=str(recorded))
         return OnlineState(
-            subproblem=RegularizedSubproblem(net, self.config),
+            subproblem=RegularizedSubproblem(net, config),
             prev=Allocation(
                 snapshot["prev_x"], snapshot["prev_y"], snapshot["prev_s"]
             ),

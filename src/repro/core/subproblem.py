@@ -46,7 +46,9 @@ import scipy.sparse as sp
 
 from repro.model.allocation import Allocation
 from repro.model.network import CloudNetwork
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
+from repro.solvers import backends as solver_backends
 from repro.solvers.convex import (
     EntropicTerm,
     SeparableObjective,
@@ -86,6 +88,11 @@ class SubproblemConfig:
         Use the fused objective kernels
         (:class:`~repro.solvers.convex.SeparableObjective` with
         ``fused=True``); disable for the per-term loop reference.
+    backend:
+        Name of the solver backend (see
+        :mod:`repro.solvers.backends`): ``"sequential"`` (the coupled
+        reference solve, default) or ``"batched"`` (component-split
+        closed forms + batched block-diagonal Newton).
     """
 
     epsilon: float = 1e-2
@@ -95,12 +102,17 @@ class SubproblemConfig:
     solver: SolverOptions = field(default_factory=SolverOptions)
     reuse_structure: bool = True
     fused_kernels: bool = True
+    backend: str = "sequential"
 
     def __post_init__(self) -> None:
         if not (self.epsilon > 0):
             raise ValueError("epsilon must be > 0")
         if self.epsilon_prime is not None and not (self.epsilon_prime > 0):
             raise ValueError("epsilon_prime must be > 0")
+        if self.backend not in solver_backends.available_backends():
+            # Same message as get_backend, but at config-construction
+            # time (CLI parse, checkpoint restore) instead of mid-run.
+            solver_backends.get_backend(self.backend)
 
     @property
     def eps2(self) -> float:
@@ -137,6 +149,11 @@ class RegularizedSubproblem:
         self._bounds = self._build_bounds()
         # Compiled programs keyed by hedging keep-pattern; see build().
         self._slot_cache: dict[tuple[bytes, bytes], SmoothConvexProgram] = {}
+
+        # The solver backend and its compiled per-structure handle;
+        # solve_reduced() dispatches every slot through it.
+        self.backend = solver_backends.get_backend(config.backend)
+        self._backend_handle = self.backend.compile(self)
 
     # ------------------------------------------------------------------
     # Constraint assembly
@@ -400,6 +417,11 @@ class RegularizedSubproblem:
     ) -> "tuple[Allocation, np.ndarray]":
         """Solve P2(t); also return the reduced solution vector.
 
+        Dispatches through the configured solver backend
+        (``config.backend``; :mod:`repro.solvers.backends`).  The
+        ``sequential`` default runs :meth:`_solve_reduced_coupled`
+        directly.
+
         ``warm`` may be the previous slot's reduced solution: decisions
         change slowly, so blending it with the interior candidate gives
         a strictly interior near-optimal start and the barrier path can
@@ -410,6 +432,31 @@ class RegularizedSubproblem:
         :class:`~repro.engine.stats.StatsProbe`-shaped recorder (any
         object with ``record_solve``); when given, the solve's backend,
         Newton iteration count and warm-start outcome are recorded.
+        """
+        return self.backend.solve(
+            self._backend_handle,
+            workload,
+            tier2_price,
+            link_price,
+            previous,
+            warm,
+            probe=probe,
+        )
+
+    def _solve_reduced_coupled(
+        self,
+        workload: np.ndarray,
+        tier2_price: np.ndarray,
+        link_price: np.ndarray,
+        previous: Allocation,
+        warm: "np.ndarray | None" = None,
+        probe=None,
+    ) -> "tuple[Allocation, np.ndarray]":
+        """The reference path: one coupled barrier solve over all clouds.
+
+        This is both the ``sequential`` backend's implementation and
+        the fallback every other backend routes structurally surprising
+        slots through.
         """
         prog = self.build(workload, tier2_price, link_price, previous)
         cand = self._interior_candidate(prog, workload)
@@ -433,6 +480,16 @@ class RegularizedSubproblem:
                 warm_used = True
                 if options.backend == "barrier":
                     options = replace(options, barrier_t0=max(options.barrier_t0, 1e3))
+        reg = obs_metrics.active()
+        if reg is not None:
+            outcome = (
+                "cold" if warm is None else ("hit" if warm_used else "miss")
+            )
+            reg.counter(
+                "subproblem_warm_starts_total",
+                help="warm-start outcomes per subproblem solve",
+                outcome=outcome,
+            ).inc()
         with obs_tracing.span("subproblem.solve") as span:
             v = prog.solve(v0=v0, options=options)
             span.set(

@@ -9,6 +9,8 @@ are asserted by the benchmark harness and recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.baselines.lcp import LCPM
@@ -140,14 +142,20 @@ def fig4_workloads(scale: "ExperimentScale | None" = None) -> ExperimentResult:
 # Fig 5 — cost over time without prediction
 # ----------------------------------------------------------------------
 def _fig5_point(args) -> "tuple[tuple, dict[str, np.ndarray]]":
-    """One Fig-5 grid point (a reconfiguration weight); picklable."""
-    scale, workload, b, epsilon, k = args
+    """One Fig-5 grid point (a reconfiguration weight); picklable.
+
+    The point payload carries the *full* :class:`SubproblemConfig`
+    (not a bare epsilon): solver backend and kernel flags must survive
+    process-pool pickling so ``--jobs N`` runs the identical per-point
+    work as a serial sweep.  Same pattern in every ``_fig*_point``.
+    """
+    scale, workload, b, config, k = args
     instance = make_instance(scale, workload, k=k, recon_weight=b)
     results = run_suite(
         instance,
         {
             "one-shot": _Greedy(),
-            "online": RegularizedOnline(SubproblemConfig(epsilon=epsilon)),
+            "online": RegularizedOnline(config),
             "offline": OfflineOracle(),
         },
     )
@@ -175,12 +183,14 @@ def fig5_cost_no_prediction(
     epsilon: float = 1e-2,
     k: int = 1,
     jobs: "int | None" = None,
+    backend: str = "sequential",
 ) -> ExperimentResult:
     """Fig 5: greedy vs online vs offline, across reconfiguration prices."""
     scale = scale or ExperimentScale.from_env()
+    config = SubproblemConfig(epsilon=epsilon, backend=backend)
     points = parallel_map(
         _fig5_point,
-        [(scale, workload, b, epsilon, k) for b in recon_weights],
+        [(scale, workload, b, config, k) for b in recon_weights],
         jobs=jobs,
     )
     rows = []
@@ -215,14 +225,14 @@ def fig5_cost_no_prediction(
 def _fig6_point(args) -> "list[tuple]":
     """One Fig-6 recon-weight point: the offline solve is shared by
     the whole epsilon sweep, so the grid parallelizes over ``b``."""
-    scale, workload, b, epsilons, k = args
+    scale, workload, b, epsilons, k, config = args
     instance = make_instance(scale, workload, k=k, recon_weight=b)
     offline = run_algorithm("offline", OfflineOracle(), instance)
     rows = []
     for eps in epsilons:
         online = run_algorithm(
             "online",
-            RegularizedOnline(SubproblemConfig(epsilon=eps)),
+            RegularizedOnline(replace(config, epsilon=eps)),
             instance,
         )
         rows.append(
@@ -244,13 +254,15 @@ def fig6_ratio_vs_epsilon(
     recon_weights: "tuple[float, ...]" = (1e2, 1e3, 1e4),
     k: int = 1,
     jobs: "int | None" = None,
+    backend: str = "sequential",
 ) -> ExperimentResult:
     """Fig 6: empirical ratio vs epsilon, with the Theorem-1 bound."""
     scale = scale or ExperimentScale.from_env()
+    config = SubproblemConfig(backend=backend)
     rows = []
     for point_rows in parallel_map(
         _fig6_point,
-        [(scale, workload, b, epsilons, k) for b in recon_weights],
+        [(scale, workload, b, epsilons, k, config) for b in recon_weights],
         jobs=jobs,
     ):
         rows.extend(point_rows)
@@ -271,13 +283,13 @@ def fig6_ratio_vs_epsilon(
 # ----------------------------------------------------------------------
 def _fig7_point(args) -> tuple:
     """One Fig-7 SLA-size point; picklable."""
-    scale, workload, k, recon_weight, epsilon, lcp_lookback = args
+    scale, workload, k, recon_weight, config, lcp_lookback = args
     instance = make_instance(scale, workload, k=k, recon_weight=recon_weight)
     results = run_suite(
         instance,
         {
             "one-shot": _Greedy(),
-            "online": RegularizedOnline(SubproblemConfig(epsilon=epsilon)),
+            "online": RegularizedOnline(config),
             "lcp-m": LCPM(lookback=lcp_lookback),
             "offline": OfflineOracle(),
         },
@@ -300,12 +312,14 @@ def fig7_sla(
     epsilon: float = 1e-2,
     lcp_lookback: "int | None" = 24,
     jobs: "int | None" = None,
+    backend: str = "sequential",
 ) -> ExperimentResult:
     """Fig 7: total cost vs SLA size k, including the LCP-M baseline."""
     scale = scale or ExperimentScale.from_env()
+    config = SubproblemConfig(epsilon=epsilon, backend=backend)
     rows = parallel_map(
         _fig7_point,
-        [(scale, workload, k, recon_weight, epsilon, lcp_lookback) for k in ks],
+        [(scale, workload, k, recon_weight, config, lcp_lookback) for k in ks],
         jobs=jobs,
     )
     return ExperimentResult(
@@ -329,15 +343,15 @@ def _predictor(error: float, seed: int):
     return GaussianNoisePredictor(error, seed=seed)
 
 
-def _predictive_suite(window: int, epsilon: float, error: float, seed: int):
+def _predictive_suite(window: int, config: SubproblemConfig, error: float, seed: int):
     return {
         "fhc": FixedHorizonControl(window, predictor=_predictor(error, seed)),
         "rhc": RecedingHorizonControl(window, predictor=_predictor(error, seed)),
         "rfhc": RegularizedFixedHorizonControl(
-            window, SubproblemConfig(epsilon=epsilon), predictor=_predictor(error, seed)
+            window, config, predictor=_predictor(error, seed)
         ),
         "rrhc": RegularizedRecedingHorizonControl(
-            window, SubproblemConfig(epsilon=epsilon), predictor=_predictor(error, seed)
+            window, config, predictor=_predictor(error, seed)
         ),
     }
 
@@ -345,8 +359,8 @@ def _predictive_suite(window: int, epsilon: float, error: float, seed: int):
 def _fig8_point(args) -> tuple:
     """One Fig-8/9 window point; the offline/online anchor totals are
     solved once in the parent and shipped in as floats."""
-    instance, w, epsilon, error, seed, offline_total, online_total = args
-    results = run_suite(instance, _predictive_suite(w, epsilon, error, seed))
+    instance, w, config, error, seed, offline_total, online_total = args
+    results = run_suite(instance, _predictive_suite(w, config, error, seed))
     return (
         w,
         results["fhc"].total / offline_total,
@@ -367,18 +381,18 @@ def fig8_prediction_window(
     error: float = 0.0,
     seed: int = 7,
     jobs: "int | None" = None,
+    backend: str = "sequential",
 ) -> ExperimentResult:
     """Fig 8 (error=0) / Fig 9 (error=0.15): cost vs prediction window."""
     scale = scale or ExperimentScale.from_env()
+    config = SubproblemConfig(epsilon=epsilon, backend=backend)
     instance = make_instance(scale, workload, k=k, recon_weight=recon_weight)
     offline = run_algorithm("offline", OfflineOracle(), instance)
-    online = run_algorithm(
-        "online", RegularizedOnline(SubproblemConfig(epsilon=epsilon)), instance
-    )
+    online = run_algorithm("online", RegularizedOnline(config), instance)
     rows = parallel_map(
         _fig8_point,
         [
-            (instance, w, epsilon, error, seed, offline.total, online.total)
+            (instance, w, config, error, seed, offline.total, online.total)
             for w in windows
         ],
         jobs=jobs,
@@ -412,8 +426,8 @@ def fig9_noisy_prediction(
 
 def _fig10_point(args) -> tuple:
     """One Fig-10 error-rate point; picklable."""
-    instance, window, epsilon, error, seed, offline_total, online_total = args
-    results = run_suite(instance, _predictive_suite(window, epsilon, error, seed))
+    instance, window, config, error, seed, offline_total, online_total = args
+    results = run_suite(instance, _predictive_suite(window, config, error, seed))
     return (
         error,
         results["fhc"].total / offline_total,
@@ -434,18 +448,18 @@ def fig10_error_sweep(
     k: int = 1,
     seed: int = 7,
     jobs: "int | None" = None,
+    backend: str = "sequential",
 ) -> ExperimentResult:
     """Fig 10: cost vs prediction error at a fixed (short) window."""
     scale = scale or ExperimentScale.from_env()
+    config = SubproblemConfig(epsilon=epsilon, backend=backend)
     instance = make_instance(scale, workload, k=k, recon_weight=recon_weight)
     offline = run_algorithm("offline", OfflineOracle(), instance)
-    online = run_algorithm(
-        "online", RegularizedOnline(SubproblemConfig(epsilon=epsilon)), instance
-    )
+    online = run_algorithm("online", RegularizedOnline(config), instance)
     rows = parallel_map(
         _fig10_point,
         [
-            (instance, window, epsilon, error, seed, offline.total, online.total)
+            (instance, window, config, error, seed, offline.total, online.total)
             for error in errors
         ],
         jobs=jobs,

@@ -23,6 +23,16 @@ keeping every observable output identical to a serial run:
 
 Workers are plain module-level functions (picklable); point arguments
 should be small tuples of primitives/instances.
+
+* **Config travels in the payload.**  Worker processes must never
+  reconstruct a :class:`~repro.core.subproblem.SubproblemConfig` from
+  scattered scalars — a rebuilt config silently resets every field the
+  payload didn't carry (solver backend, kernel flags) to its default,
+  so a ``--backend batched --jobs N`` sweep would quietly run the
+  sequential backend in its workers.  Point tuples therefore carry the
+  fully-constructed config object (it is a plain dataclass of scalars
+  and pickles cheaply); workers at most ``dataclasses.replace`` the
+  swept field.
 """
 
 from __future__ import annotations

@@ -84,7 +84,17 @@ def render_serve_events(events: "list[dict]") -> str:
 
     summary = summarize_events(events)
     paths = summary["paths"]
+    backend = next(
+        (
+            event["backend"]
+            for event in events
+            if event.get("event") in ("serve_start", "serve_resume")
+            and event.get("backend")
+        ),
+        None,
+    )
     summary_rows = [
+        *([("solver backend", backend)] if backend else []),
         ("slots", summary["slots"]),
         ("served", summary["slots"] - summary["unserved"]),
         ("unserved", summary["unserved"]),
@@ -125,10 +135,31 @@ def render_metrics(snapshot: dict) -> str:
     after a run.  Delegates to
     :func:`repro.obs.export.describe_snapshot`; :mod:`repro.obs` owns
     the rendering because it must stay importable without numpy.
+
+    When the run recorded ``subproblem_warm_starts_total`` counters, a
+    warm-start hit-rate summary line is appended (previously that rate
+    was only visible in the perf bench output, not under ``--metrics``).
     """
     from repro.obs.export import describe_snapshot
 
-    return "== metrics ==\n" + describe_snapshot(snapshot)
+    out = "== metrics ==\n" + describe_snapshot(snapshot)
+    warm = {"hit": 0.0, "miss": 0.0, "cold": 0.0}
+    for entry in snapshot.get("metrics", []):
+        if entry.get("name") == "subproblem_warm_starts_total":
+            outcome = entry.get("labels", {}).get("outcome")
+            if outcome in warm:
+                warm[outcome] += float(entry.get("value", 0.0))
+    attempts = warm["hit"] + warm["miss"]
+    if attempts or warm["cold"]:
+        if attempts:
+            rate = f"{100.0 * warm['hit'] / attempts:.0f}% ({warm['hit']:.0f}/{attempts:.0f})"
+        else:
+            rate = "n/a"
+        out += (
+            f"\n\nwarm-start hit rate: {rate}"
+            f"  [cold starts: {warm['cold']:.0f}]"
+        )
+    return out
 
 
 @dataclass

@@ -12,7 +12,11 @@ provides the two solver layers everything else is built on:
   log-barrier Newton method (:mod:`repro.solvers.barrier`) with a
   ``scipy.optimize.minimize(trust-constr)`` cross-check backend;
 * :mod:`repro.solvers.kkt` — first-order optimality verification used
-  in tests.
+  in tests;
+* :mod:`repro.solvers.backends` — pluggable per-slot solve strategies
+  (the coupled ``sequential`` reference and the component-decomposed
+  ``batched`` backend), selected by
+  :class:`~repro.core.subproblem.SubproblemConfig`.
 """
 
 from repro.solvers.lp import LinearProgram, LPSolution, LPError
@@ -22,7 +26,10 @@ from repro.solvers.convex import (
     SmoothConvexProgram,
     SolverOptions,
 )
-from repro.solvers.kkt import first_order_certificate
+from repro.solvers.kkt import (
+    block_first_order_certificates,
+    first_order_certificate,
+)
 
 __all__ = [
     "LinearProgram",
@@ -33,4 +40,5 @@ __all__ = [
     "SolverOptions",
     "ConvexSolverError",
     "first_order_certificate",
+    "block_first_order_certificates",
 ]

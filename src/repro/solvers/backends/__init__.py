@@ -1,0 +1,28 @@
+"""Pluggable solver backends for the per-slot subproblems.
+
+See :mod:`repro.solvers.backends.base` for the protocol and
+``docs/SOLVER_BACKENDS.md`` for the design notes.
+"""
+
+from __future__ import annotations
+
+from repro.solvers.backends.base import (
+    SolverBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.solvers.backends.batched import BatchedNewtonBackend
+from repro.solvers.backends.sequential import SequentialBackend
+
+register_backend("sequential", SequentialBackend)
+register_backend("batched", BatchedNewtonBackend)
+
+__all__ = [
+    "SolverBackend",
+    "SequentialBackend",
+    "BatchedNewtonBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,96 @@
+"""The solver-backend protocol and registry.
+
+A *backend* owns how the per-slot regularized subproblems are solved.
+The reduced program (see :mod:`repro.core.subproblem`) couples the
+per-cloud subproblems only weakly — through the shared workload-cover
+and hedging rows — so different execution strategies are possible:
+solve the coupled program as one barrier solve (the reference
+``sequential`` backend), or partition it into its independent
+edge-cloud blocks and solve them batched (``batched``).
+
+Protocol
+--------
+``compile(subproblem) -> handle``
+    One-time structural analysis of a
+    :class:`~repro.core.subproblem.RegularizedSubproblem` — the
+    container of every per-cloud subproblem in reduced form.  The
+    returned handle holds whatever the backend precomputed (block
+    partition, stacked index arrays, workspace caches) and is passed
+    back to every ``solve``.
+
+``solve(handle, workload, tier2_price, link_price, previous, warm, probe)``
+    Solve one slot.  Returns ``(allocation, reduced_v)`` exactly like
+    :meth:`RegularizedSubproblem.solve_reduced`: the edge-space
+    decision plus the reduced solution vector (the next slot's
+    warm-start seed, and the payload of checkpointed warm state — every
+    backend uses the same full reduced vector so checkpoints written
+    under one backend describe the same state space).
+
+Backends must be deterministic: same inputs, same outputs, bitwise —
+the serve runtime's checkpoint/resume equivalence depends on it.
+
+Registration is by name (:func:`register_backend` /
+:func:`get_backend`); :class:`~repro.core.subproblem.SubproblemConfig`
+selects one with its ``backend`` field and the CLI exposes it as
+``--backend``.  See ``docs/SOLVER_BACKENDS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """Strategy for solving the per-slot subproblems of one structure."""
+
+    name: str
+
+    def compile(self, subproblem: Any) -> Any:
+        """Precompute per-structure state; returns the backend handle."""
+        ...
+
+    def solve(
+        self,
+        handle: Any,
+        workload: np.ndarray,
+        tier2_price: np.ndarray,
+        link_price: np.ndarray,
+        previous: Any,
+        warm: "np.ndarray | None" = None,
+        probe: Any = None,
+    ) -> "tuple[Any, np.ndarray]":
+        """Solve one slot; returns ``(Allocation, reduced solution v)``."""
+        ...
+
+
+_REGISTRY: "dict[str, Callable[[], SolverBackend]]" = {}
+
+
+def register_backend(name: str, factory: "Callable[[], SolverBackend]") -> None:
+    """Register a backend factory under ``name`` (last wins)."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> "tuple[str, ...]":
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises a :class:`ValueError` naming the known backends on an
+    unknown name, so a typo in ``--backend`` or a config file fails
+    with an actionable message instead of deep in the solve path.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_backends()) or "none registered"
+        raise ValueError(
+            f"unknown solver backend {name!r}; available: {known}"
+        ) from None
+    return factory()

@@ -1,0 +1,391 @@
+"""Tests for the solver-backend layer (repro.solvers.backends).
+
+The acceptance bar: ``BatchedNewtonBackend`` is *decision-identical*
+to ``SequentialBackend`` — tier-2 totals, link allocations and costs
+agree to solver tolerance on every golden scenario — while the cover
+split ``s`` may differ (it is not unique; see the backends doc).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RegularizedOnline, SubproblemConfig
+from repro.core.subproblem import RegularizedSubproblem
+from repro.evaluation.experiments import make_instance as make_fig_instance
+from repro.evaluation.scale import ExperimentScale
+from repro.model import Allocation, Cloud, CloudNetwork, SLAEdge
+from repro.model.costs import evaluate_cost
+from repro.model.feasibility import check_trajectory
+from repro.solvers.backends import (
+    BatchedNewtonBackend,
+    SequentialBackend,
+    SolverBackend,
+    available_backends,
+    get_backend,
+)
+
+from conftest import make_instance, make_network
+
+# Decision-identity tolerances: the two backends follow different
+# numerical paths to the same unique optimum of a strictly convex
+# objective, so they agree to solver tolerance, not bitwise.  Chained
+# over a trajectory the measured deviations are ~1e-5 (X), ~3e-3 (y).
+DX_TOL = 1e-3
+DY_TOL = 2e-2
+DCOST_TOL = 1e-3
+
+
+def rel_gap(a: np.ndarray, b: np.ndarray) -> float:
+    a, b = np.asarray(a, float), np.asarray(b, float)
+    return float(np.max(np.abs(a - b) / (1.0 + np.abs(a)))) if a.size else 0.0
+
+
+def run_both(instance, epsilon=1e-2):
+    out = {}
+    for backend in ("sequential", "batched"):
+        algo = RegularizedOnline(SubproblemConfig(epsilon=epsilon, backend=backend))
+        out[backend] = algo.run(instance)
+    return out["sequential"], out["batched"]
+
+
+def assert_decision_identical(instance, seq, bat):
+    net = instance.network
+    assert rel_gap(seq.tier2_totals(net), bat.tier2_totals(net)) < DX_TOL
+    assert rel_gap(seq.y, bat.y) < DY_TOL
+    ca = evaluate_cost(instance, seq).total
+    cb = evaluate_cost(instance, bat).total
+    assert abs(ca - cb) <= DCOST_TOL * (1.0 + abs(ca))
+
+
+def star_network(n_tier1: int = 6) -> CloudNetwork:
+    """All-star SLA graph (k=1): every component is closed-form."""
+    return make_network(n_tier1=n_tier1, k=1)
+
+
+def mixed_network() -> CloudNetwork:
+    """One dense (non-star) component plus two star components."""
+    tier2 = [
+        Cloud(f"i{i}", c, b)
+        for i, (c, b) in enumerate([(30.0, 2.0), (25.0, 3.0), (40.0, 1.5), (35.0, 2.5)])
+    ]
+    tier1 = [Cloud(f"j{j}", np.inf) for j in range(5)]
+    edges = [
+        SLAEdge(0, 0, 20.0, 1.0),
+        SLAEdge(0, 1, 15.0, 1.2),
+        SLAEdge(1, 0, 18.0, 0.8),
+        SLAEdge(1, 1, 22.0, 1.1),
+        SLAEdge(2, 2, 30.0, 0.9),
+        SLAEdge(3, 3, 25.0, 1.3),
+        SLAEdge(3, 4, 28.0, 0.7),
+    ]
+    return CloudNetwork(tier2, tier1, edges)
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert set(available_backends()) >= {"sequential", "batched"}
+
+    def test_instances_satisfy_protocol(self):
+        assert isinstance(get_backend("sequential"), SolverBackend)
+        assert isinstance(get_backend("batched"), SolverBackend)
+        assert isinstance(SequentialBackend(), SolverBackend)
+        assert isinstance(BatchedNewtonBackend(), SolverBackend)
+
+    def test_unknown_backend_names_the_alternatives(self):
+        with pytest.raises(ValueError, match="unknown solver backend 'nope'"):
+            get_backend("nope")
+        with pytest.raises(ValueError, match="sequential"):
+            get_backend("nope")
+
+    def test_config_rejects_unknown_backend_at_construction(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            SubproblemConfig(backend="typo")
+
+
+class TestSequentialBackend:
+    """The migrated reference path stays bitwise-identical."""
+
+    def test_dispatch_equals_coupled_solve(self, small_network):
+        inst = make_instance(small_network, horizon=4, seed=2)
+        via_backend = RegularizedSubproblem(small_network, SubproblemConfig())
+        direct = RegularizedSubproblem(small_network, SubproblemConfig())
+        prev = Allocation.zeros(small_network.n_edges)
+        for t in range(inst.horizon):
+            a1, v1 = via_backend.solve_reduced(
+                inst.workload[t], inst.tier2_price[t], inst.link_price[t], prev
+            )
+            a2, v2 = direct._solve_reduced_coupled(
+                inst.workload[t], inst.tier2_price[t], inst.link_price[t], prev
+            )
+            assert np.array_equal(v1, v2)
+            assert np.array_equal(a1.x, a2.x)
+            prev = a1
+
+
+class TestGoldenEquivalence:
+    """Batched == sequential decisions across the fig5-fig10 regimes."""
+
+    @pytest.mark.parametrize(
+        "workload,k,recon_weight,epsilon",
+        [
+            # fig5: reconfiguration-weight sweep at k=1
+            ("wikipedia", 1, 1e2, 1e-2),
+            ("wikipedia", 1, 1e3, 1e-2),
+            # fig6: epsilon sweep
+            ("wikipedia", 1, 1e3, 1e-3),
+            ("wikipedia", 1, 1e3, 1e-1),
+            # fig7: SLA-size sweep (k=2 exercises the dense fallback)
+            ("wikipedia", 2, 1e3, 1e-2),
+            # fig8-10 regime: epsilon=1e-3 anchor + bursty workload
+            ("worldcup", 1, 1e3, 1e-3),
+        ],
+    )
+    def test_fig_scenarios(self, workload, k, recon_weight, epsilon):
+        inst = make_fig_instance(
+            ExperimentScale.tiny(), workload, k=k, recon_weight=recon_weight
+        )
+        seq, bat = run_both(inst, epsilon=epsilon)
+        assert_decision_identical(inst, seq, bat)
+        assert check_trajectory(inst, bat).ok
+
+    def test_mixed_components_use_batched_newton(self):
+        net = mixed_network()
+        sub = RegularizedSubproblem(net, SubproblemConfig(backend="batched"))
+        handle = sub._backend_handle
+        # Structure check: the dense 2x2 component is a Newton block,
+        # the stars are on the closed-form fast path.
+        assert len(handle.blocks) == 1
+        assert list(handle.fast_i) == [False, False, True, True]
+        inst = make_instance(net, horizon=12, seed=4)
+        seq, bat = run_both(inst)
+        assert_decision_identical(inst, seq, bat)
+
+    def test_single_component_falls_back_bitwise(self, small_network):
+        # k=2 ring: one non-star component -> nothing to decompose, the
+        # batched backend routes every slot through the coupled solve
+        # and the trajectories are bitwise equal.
+        inst = make_instance(small_network, horizon=6, seed=5)
+        seq, bat = run_both(inst)
+        assert np.array_equal(seq.x, bat.x)
+        assert np.array_equal(seq.y, bat.y)
+        assert np.array_equal(seq.s, bat.s)
+
+    def test_step_stats_tagged_with_backend(self):
+        inst = make_instance(star_network(), horizon=5, seed=1)
+        bat = RegularizedOnline(SubproblemConfig(backend="batched")).run(inst)
+        assert "batched" in bat.run_stats.backends
+        seq = RegularizedOnline(SubproblemConfig()).run(inst)
+        assert "batched" not in seq.run_stats.backends
+
+
+class TestObservability:
+    def test_fast_path_counters(self):
+        from repro.obs import metrics
+
+        inst = make_instance(star_network(), horizon=5, seed=1)
+        with metrics.use() as reg:
+            RegularizedOnline(SubproblemConfig(backend="batched")).run(inst)
+        values = {
+            (e["name"], e["labels"].get("reason")): e.get("value")
+            for e in reg.snapshot()["metrics"]
+        }
+        assert values[("backend_slots_total", None)] == 5
+        assert values[("backend_fast_path_hits_total", None)] > 0
+        # Pure star network: no Newton blocks, no fallbacks.
+        assert not any(
+            name == "backend_sequential_fallbacks_total" for name, _ in values
+        )
+        assert not any(
+            name == "backend_fused_newton_iters_total" for name, _ in values
+        )
+
+    def test_fallback_counter_records_reason(self, small_network):
+        from repro.obs import metrics
+
+        inst = make_instance(small_network, horizon=3, seed=5)
+        with metrics.use() as reg:
+            RegularizedOnline(SubproblemConfig(backend="batched")).run(inst)
+        fallbacks = [
+            e
+            for e in reg.snapshot()["metrics"]
+            if e["name"] == "backend_sequential_fallbacks_total"
+        ]
+        assert fallbacks and fallbacks[0]["labels"]["reason"] == "single_component"
+        assert sum(e["value"] for e in fallbacks) == 3
+
+    def test_batch_size_histogram_on_newton_components(self):
+        from repro.obs import metrics
+
+        inst = make_instance(mixed_network(), horizon=3, seed=4)
+        with metrics.use() as reg:
+            RegularizedOnline(SubproblemConfig(backend="batched")).run(inst)
+        hist = [
+            e
+            for e in reg.snapshot()["metrics"]
+            if e["name"] == "backend_batch_size"
+        ]
+        assert hist and hist[0]["count"] == 3  # one stacked solve per slot
+        newton = [
+            e
+            for e in reg.snapshot()["metrics"]
+            if e["name"] == "backend_fused_newton_iters_total"
+        ]
+        assert newton and newton[0]["value"] > 0
+
+    def test_warm_start_counters_and_render(self, small_network):
+        from repro.evaluation.reporting import render_metrics
+        from repro.obs import metrics
+
+        inst = make_instance(small_network, horizon=6, seed=5)
+        with metrics.use() as reg:
+            RegularizedOnline(SubproblemConfig()).run(inst)
+        snap = reg.snapshot()
+        by_outcome = {
+            e["labels"]["outcome"]: e["value"]
+            for e in snap["metrics"]
+            if e["name"] == "subproblem_warm_starts_total"
+        }
+        # Slot 0 is a cold start; every later slot attempts the warm seed.
+        assert by_outcome.get("cold") == 1
+        assert by_outcome.get("hit", 0) + by_outcome.get("miss", 0) == 5
+        text = render_metrics(snap)
+        assert "warm-start hit rate" in text
+        assert "cold starts: 1" in text
+
+    def test_render_metrics_without_warm_counters(self):
+        from repro.evaluation.reporting import render_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("other_total", help="x").inc()
+        assert "warm-start hit rate" not in render_metrics(reg.snapshot())
+
+
+class TestKKTCertificates:
+    def test_block_certificates_near_zero_at_optimum(self):
+        from repro.solvers.kkt import block_first_order_certificates
+
+        programs, solutions = [], []
+        for seed in (0, 1):
+            net = star_network(n_tier1=4)
+            inst = make_instance(net, horizon=2, seed=seed)
+            sub = RegularizedSubproblem(net, SubproblemConfig())
+            prev = Allocation.zeros(net.n_edges)
+            _, v = sub.solve_reduced(
+                inst.workload[0], inst.tier2_price[0], inst.link_price[0], prev
+            )
+            programs.append(
+                sub.build(
+                    inst.workload[0], inst.tier2_price[0], inst.link_price[0], prev
+                )
+            )
+            solutions.append(v)
+        certs = block_first_order_certificates(programs, solutions)
+        assert certs.shape == (2,)
+        assert np.all(certs > -1e-5)
+
+    def test_block_certificates_length_mismatch(self):
+        from repro.solvers.kkt import block_first_order_certificates
+
+        with pytest.raises(ValueError, match="1 programs but 0"):
+            block_first_order_certificates([object()], [])
+
+
+class TestServeWithBatchedBackend:
+    """Serve runtime: checkpoints record the backend; resume is bitwise."""
+
+    BATCHED = SubproblemConfig(epsilon=1e-2, backend="batched")
+
+    def make_star_instance(self):
+        return make_instance(star_network(), horizon=10, seed=5)
+
+    def test_kill_and_resume_bitwise_under_faults(self, tmp_path):
+        from repro.serve import FaultInjector, ServeConfig, ServeLoop
+
+        inst = self.make_star_instance()
+        injector = FaultInjector(stall_prob=0.25, fail_prob=0.15, seed=9)
+        full = ServeLoop(
+            RegularizedOnline(self.BATCHED), inst, ServeConfig(injector=injector)
+        ).run()
+        assert full.summary["fallbacks"] > 0  # the seed produces faults
+        path = tmp_path / "ck.npz"
+        ServeLoop(
+            RegularizedOnline(self.BATCHED),
+            inst,
+            ServeConfig(
+                injector=injector,
+                checkpoint_path=path,
+                checkpoint_every=1,
+                max_slots=4,
+            ),
+        ).run()
+        resumed = ServeLoop.resume(
+            RegularizedOnline(self.BATCHED),
+            inst,
+            path,
+            config=ServeConfig(injector=injector),
+        ).run()
+        assert np.array_equal(resumed.trajectory.x, full.trajectory.x)
+        assert np.array_equal(resumed.trajectory.y, full.trajectory.y)
+        assert np.array_equal(resumed.trajectory.s, full.trajectory.s)
+        assert resumed.paths == full.paths
+
+    def test_resume_restores_recorded_backend(self, tmp_path):
+        from repro.serve import ServeConfig, ServeLoop
+
+        inst = self.make_star_instance()
+        path = tmp_path / "ck.npz"
+        ServeLoop(
+            RegularizedOnline(self.BATCHED),
+            inst,
+            ServeConfig(checkpoint_path=path, checkpoint_every=1, max_slots=3),
+        ).run()
+        # Relaunch with the default (sequential) config: the restored
+        # session keeps solving on the backend that wrote the checkpoint.
+        loop = ServeLoop.resume(RegularizedOnline(SubproblemConfig()), inst, path)
+        assert loop.session.state.subproblem.config.backend == "batched"
+        full = ServeLoop(RegularizedOnline(self.BATCHED), inst).run()
+        resumed = loop.run()
+        assert np.array_equal(resumed.trajectory.x, full.trajectory.x)
+
+    def test_serve_start_event_records_backend(self):
+        from repro.evaluation.reporting import render_serve_events
+        from repro.serve import EventLog, ServeConfig, ServeLoop
+
+        inst = self.make_star_instance()
+        log = EventLog()
+        ServeLoop(
+            RegularizedOnline(self.BATCHED), inst, ServeConfig(max_slots=2), log
+        ).run()
+        start = next(e for e in log.events if e["event"] == "serve_start")
+        assert start["backend"] == "batched"
+        assert "solver backend" in render_serve_events(log.events)
+
+
+class TestParallelSweeps:
+    """Backend flags survive process-pool pickling (satellite fix)."""
+
+    def test_fig5_jobs_rows_identical_to_serial_under_batched(self):
+        from repro.evaluation.experiments import fig5_cost_no_prediction
+
+        kwargs = dict(
+            scale=ExperimentScale.tiny(),
+            recon_weights=(1e2, 1e3),
+            backend="batched",
+        )
+        serial = fig5_cost_no_prediction(jobs=None, **kwargs)
+        parallel = fig5_cost_no_prediction(jobs=2, **kwargs)
+        assert serial.rows == parallel.rows
+
+    def test_point_payload_carries_full_config(self):
+        from repro.evaluation.experiments import fig5_cost_no_prediction, _fig5_point
+        import pickle
+
+        # The worker payload must round-trip the backend through pickle.
+        config = SubproblemConfig(epsilon=1e-2, backend="batched")
+        args = (ExperimentScale.tiny(), "wikipedia", 1e2, config, 1)
+        restored = pickle.loads(pickle.dumps(args))
+        assert restored[3].backend == "batched"
+        assert restored[3].fused_kernels == config.fused_kernels
