@@ -31,6 +31,15 @@ reference on the same instance, and record the residual decision gap
 alongside the speedup.  ``batched-k2-parity`` pins the k=2 fallback
 case, where the two backends are bitwise identical.
 
+The ``cache-cold`` / ``cache-warm`` scenarios measure the persistent
+cross-run solver cache (``--cache``, :mod:`repro.cache`): each repeat
+runs the same RegularizedOnline trajectory twice against a fresh cache
+directory — the first run (cold) populates it, the second (warm)
+replays every solve from the store.  Recorded: second-run speedup,
+warm-start hit rate (a cache hit is the warmest possible start), and
+whether the cached decisions are byte-identical to an uncached run
+(they must be: backends are deterministic and hits are exact-input).
+
 The JSON is self-describing (``schema`` key); every trajectory scenario
 records median wall time over ``--repeats`` runs, total Newton
 iterations, solve count, and warm-start hit rate for the baseline
@@ -193,6 +202,110 @@ def bench_backend(
 
 
 # ----------------------------------------------------------------------
+# Cache scenario: first run populates the store, second run replays it
+# ----------------------------------------------------------------------
+def bench_cache(
+    scale,
+    workload: str,
+    k: int,
+    epsilon: float,
+    repeats: int,
+) -> "list[dict]":
+    """Time RegularizedOnline against a fresh persistent cache.
+
+    Returns two scenario records sharing one measurement: ``cache-cold``
+    (first run on an empty store — the uncached path plus store writes)
+    and ``cache-warm`` (second run on the populated store — every solve
+    replayed, zero Newton iterations).  Decisions of both are compared
+    bitwise against an uncached reference run.
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache import runtime as cache_runtime
+    from repro.core.online import RegularizedOnline
+    from repro.core.subproblem import SubproblemConfig
+    from repro.evaluation.experiments import make_instance
+    from repro.evaluation.runner import run_algorithm
+
+    instance = make_instance(scale, workload, k=k)
+
+    def one_run():
+        cfg = SubproblemConfig(epsilon=epsilon)
+        return run_algorithm("bench", RegularizedOnline(cfg), instance)
+
+    ref = one_run()  # uncached reference (decisions + wall time)
+
+    def identical(traj) -> bool:
+        return (
+            np.array_equal(traj.x, ref.trajectory.x)
+            and np.array_equal(traj.y, ref.trajectory.y)
+            and np.array_equal(traj.s, ref.trajectory.s)
+        )
+
+    cold_times, warm_times = [], []
+    cold_stats = warm_stats = None
+    all_identical = True
+    hits = misses = 0
+    for _ in range(repeats):
+        root = tempfile.mkdtemp(prefix="bench-cache-")
+        try:
+            with cache_runtime.use(root) as store:
+                cold = one_run()
+                before = store.counters.as_dict()
+                warm = one_run()
+                after = store.counters.as_dict()
+                # The warm *run*'s lookup outcomes only (the cold run
+                # is all misses by construction).
+                hits += after["hit"] - before["hit"]
+                misses += after["miss"] - before["miss"]
+            cold_times.append(cold.runtime)
+            warm_times.append(warm.runtime)
+            cold_stats, warm_stats = cold.stats, warm.stats
+            all_identical = (
+                all_identical and identical(cold.trajectory)
+                and identical(warm.trajectory)
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    shared = {
+        "kind": "cache",
+        "algorithm": "RegularizedOnline",
+        "workload": workload,
+        "scale": {
+            "n_tier2": scale.n_tier2,
+            "n_tier1": scale.n_tier1,
+            "horizon": scale.horizon_wiki
+            if workload == "wikipedia"
+            else scale.horizon_worldcup,
+            "k": k,
+        },
+        "epsilon": epsilon,
+        "repeats": repeats,
+        "decisions_identical_to_uncached": all_identical,
+    }
+    cold_wall = statistics.median(cold_times)
+    warm_wall = statistics.median(warm_times)
+    return [
+        {
+            "name": "cache-cold",
+            **shared,
+            **_config_metrics(cold_times, cold_stats),
+            "uncached_wall_time_s": round(ref.runtime, 4),
+            "store_overhead": round(cold_wall / max(ref.runtime, 1e-12), 3),
+        },
+        {
+            "name": "cache-warm",
+            **shared,
+            **_config_metrics(warm_times, warm_stats),
+            "second_run_speedup": round(cold_wall / max(warm_wall, 1e-12), 3),
+            "cache_hit_rate": round(hits / max(hits + misses, 1), 4),
+        },
+    ]
+
+
+# ----------------------------------------------------------------------
 # Kernel scenario: fused vs loop objective evaluations on one program
 # ----------------------------------------------------------------------
 def bench_kernels(scale, workload: str, k: int, calls: int) -> dict:
@@ -261,6 +374,14 @@ def run(repeats: int, smoke: bool) -> dict:
             "wikipedia", k=1, epsilon=1e-2, repeats=1 if smoke else repeats,
         )
     )
+    # Persistent-cache scenarios: tiny at smoke, the default scale
+    # otherwise (the "repeated default-scale run" acceptance numbers).
+    scenarios.extend(
+        bench_cache(
+            tiny if smoke else ExperimentScale.from_env(),
+            "wikipedia", k=2, epsilon=1e-2, repeats=1 if smoke else repeats,
+        )
+    )
     if not smoke:
         scenarios.append(
             bench_trajectory(
@@ -278,7 +399,7 @@ def run(repeats: int, smoke: bool) -> dict:
             )
         )
     return {
-        "schema": "repro-bench-solver/v1",
+        "schema": "repro-bench-solver/v2",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "smoke": smoke,
         "platform": {
@@ -320,6 +441,21 @@ def main(argv: "list[str] | None" = None) -> int:
                 f"  ({sc['speedup']:.2f}x, same Newton path:"
                 f" {sc['same_newton_path']})"
             )
+        elif sc["kind"] == "cache":
+            if sc["name"] == "cache-cold":
+                print(
+                    f"{sc['name']:10s} first run {sc['wall_time_s']:.3f}s"
+                    f" (uncached {sc['uncached_wall_time_s']:.3f}s,"
+                    f" store overhead {sc['store_overhead']:.2f}x)"
+                )
+            else:
+                print(
+                    f"{sc['name']:10s} second run {sc['wall_time_s']:.3f}s"
+                    f"  ({sc['second_run_speedup']:.2f}x vs cold,"
+                    f" hit rate {sc['cache_hit_rate']:.0%},"
+                    f" identical decisions:"
+                    f" {sc['decisions_identical_to_uncached']})"
+                )
         elif sc["kind"] == "backend":
             gap = sc["decision_gap"]
             print(

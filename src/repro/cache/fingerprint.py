@@ -1,0 +1,181 @@
+"""Deterministic fingerprints keying the persistent solver-state cache.
+
+A cache entry is only reusable if *everything* that influences the
+solve is part of its key.  Three layers of keys compose:
+
+* :func:`network_fingerprint` — the topology and its parameter arrays
+  (SLA edge index arrays, capacities, reconfiguration prices).  Two
+  networks with equal arrays fingerprint equally regardless of cloud
+  names or construction order of unrelated metadata.
+* :func:`config_fingerprint` — every :class:`SubproblemConfig` field,
+  including the nested :class:`SolverOptions` and the solver backend
+  name.  Changing any flag (``hedging``, ``fused_kernels``, tolerance,
+  …) changes the key, so a cache directory can be shared across
+  heterogeneous runs without cross-contamination.
+* :func:`solve_key` — one slot's exact solve inputs on top of a
+  structure fingerprint: workload, prices, the previous decision
+  anchoring the regularizers, and the warm-start seed.  Backends are
+  deterministic (same inputs → same outputs, bitwise; the contract in
+  :mod:`repro.solvers.backends.base`), so replaying a stored result for
+  an exact key match is byte-identical to re-solving.
+
+All digests are SHA-256 over raw array bytes plus canonical JSON of
+the scalar fields — stable across processes, platforms and
+``PYTHONHASHSEED`` (nothing here uses Python's randomized ``hash()``).
+The schema tag is folded into every digest so a future change to what
+a fingerprint covers invalidates old entries instead of silently
+matching them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+#: Folded into every digest; bump when fingerprint coverage changes.
+FINGERPRINT_SCHEMA = "repro-cache-key/v1"
+
+
+def _hasher() -> "hashlib._Hash":
+    h = hashlib.sha256()
+    h.update(FINGERPRINT_SCHEMA.encode())
+    return h
+
+
+def _update_array(h: "hashlib._Hash", name: str, arr: "np.ndarray | None") -> None:
+    """Fold one array (or its absence) into a running digest.
+
+    Name, dtype and shape are folded alongside the bytes so ``(2, 3)``
+    and ``(3, 2)`` arrays with equal buffers cannot collide, and a
+    ``None`` is distinguishable from an empty array.
+    """
+    h.update(name.encode())
+    if arr is None:
+        h.update(b"<none>")
+        return
+    arr = np.ascontiguousarray(arr)
+    h.update(str(arr.dtype).encode())
+    h.update(repr(arr.shape).encode())
+    h.update(arr.tobytes())
+
+
+def array_digest(arr: "np.ndarray | None") -> str:
+    """Hex digest of one array's dtype, shape and bytes."""
+    h = _hasher()
+    _update_array(h, "array", arr)
+    return h.hexdigest()
+
+
+def network_fingerprint(network: Any) -> str:
+    """Digest of a :class:`~repro.model.network.CloudNetwork`'s structure.
+
+    Covers everything the subproblem reads from the network: sizes,
+    the SLA edge index arrays, and all capacity/reconfiguration-price
+    arrays.  Cloud names and locations are presentation metadata and
+    deliberately excluded.
+    """
+    h = _hasher()
+    h.update(
+        f"network:{network.n_tier2}:{network.n_tier1}:{network.n_edges}".encode()
+    )
+    for name in (
+        "edge_i",
+        "edge_j",
+        "tier2_capacity",
+        "tier2_recon_price",
+        "tier1_capacity",
+        "tier1_recon_price",
+        "edge_capacity",
+        "edge_recon_price",
+    ):
+        _update_array(h, name, getattr(network, name))
+    return h.hexdigest()
+
+
+def _scalarize(value: Any) -> Any:
+    """Canonical JSON-encodable form of one config field."""
+    if isinstance(value, float):
+        # float.hex() round-trips exactly; repr() does too on CPython,
+        # but the hex form is explicit about it.
+        return value.hex()
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    raise TypeError(
+        f"cannot fingerprint config field of type {type(value).__name__}: "
+        f"{value!r} (extend repro.cache.fingerprint for new field types)"
+    )
+
+
+def config_fingerprint(config: Any) -> str:
+    """Digest of every :class:`SubproblemConfig` field (nested dataclasses
+    included), so any flag difference yields a different key."""
+
+    def encode(obj: Any) -> Any:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return {
+                f.name: encode(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            }
+        return _scalarize(obj)
+
+    payload = json.dumps(encode(config), sort_keys=True)
+    h = _hasher()
+    h.update(b"config:")
+    h.update(payload.encode())
+    return h.hexdigest()
+
+
+def structure_fingerprint(network: Any, config: Any) -> str:
+    """Key prefix shared by every solve of one (network, config) pair."""
+    h = _hasher()
+    h.update(b"structure:")
+    h.update(network_fingerprint(network).encode())
+    h.update(config_fingerprint(config).encode())
+    return h.hexdigest()
+
+
+def solve_key(
+    structure_fp: str,
+    workload: np.ndarray,
+    tier2_price: np.ndarray,
+    link_price: np.ndarray,
+    previous: Any,
+    warm: "np.ndarray | None",
+) -> str:
+    """Exact-input key of one per-slot solve.
+
+    ``previous`` is the anchoring :class:`~repro.model.allocation.Allocation`;
+    all three of its components are hashed (conservative — the solve
+    reads only the tier-2 totals and ``y``, but a stricter key can only
+    cause an extra miss, never a wrong hit).
+    """
+    h = _hasher()
+    h.update(b"solve:")
+    h.update(structure_fp.encode())
+    _update_array(h, "workload", np.asarray(workload, dtype=float))
+    _update_array(h, "tier2_price", np.asarray(tier2_price, dtype=float))
+    _update_array(h, "link_price", np.asarray(link_price, dtype=float))
+    _update_array(h, "prev_x", np.asarray(previous.x, dtype=float))
+    _update_array(h, "prev_y", np.asarray(previous.y, dtype=float))
+    _update_array(h, "prev_s", np.asarray(previous.s, dtype=float))
+    _update_array(h, "warm", None if warm is None else np.asarray(warm, dtype=float))
+    return h.hexdigest()
+
+
+def session_key(structure_fp: str, controller_name: str, tag: str = "") -> str:
+    """Key of a whole-session state blob (``SolveSession.export_state``).
+
+    ``tag`` distinguishes multiple snapshots of the same structure —
+    e.g. a trace name or slot index chosen by the caller.
+    """
+    h = _hasher()
+    h.update(b"session:")
+    h.update(structure_fp.encode())
+    h.update(controller_name.encode())
+    h.update(b":")
+    h.update(tag.encode())
+    return h.hexdigest()

@@ -1,0 +1,72 @@
+"""Ambient activation of the persistent solver cache.
+
+Mirrors the zero-overhead switch of :mod:`repro.obs.metrics`: no store
+is active unless :func:`activate` installed one (the CLI's ``--cache``
+flag does), and every layer that can amortize state asks
+:func:`active` at construction/solve time instead of threading a store
+argument through nine controller stacks.
+
+While inactive, the hot path pays one module-global ``is None`` check
+per :class:`~repro.core.subproblem.RegularizedSubproblem` solve —
+decisions, Newton paths and timings are exactly the uncached ones.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cache.store import SolverStateStore
+
+_active: "SolverStateStore | None" = None
+
+
+def activate(
+    store: "SolverStateStore | str | Path",
+    max_entries: "int | None" = None,
+) -> SolverStateStore:
+    """Install ``store`` (or a new store at a directory) as the active one."""
+    global _active
+    if not isinstance(store, SolverStateStore):
+        store = SolverStateStore(store, max_entries=max_entries)
+    _active = store
+    return store
+
+
+def deactivate() -> None:
+    """Return to the no-cache default."""
+    global _active
+    _active = None
+
+
+def active() -> "SolverStateStore | None":
+    """The active store, or ``None`` while caching is disabled."""
+    return _active
+
+
+def active_dir() -> "str | None":
+    """The active store's directory (workers re-activate from this)."""
+    return None if _active is None else str(_active.root)
+
+
+class use:
+    """Context manager installing a store for the block (tests)."""
+
+    def __init__(
+        self,
+        store: "SolverStateStore | str | Path",
+        max_entries: "int | None" = None,
+    ) -> None:
+        if not isinstance(store, SolverStateStore):
+            store = SolverStateStore(store, max_entries=max_entries)
+        self.store = store
+        self._saved: "SolverStateStore | None" = None
+
+    def __enter__(self) -> SolverStateStore:
+        global _active
+        self._saved = _active
+        _active = self.store
+        return self.store
+
+    def __exit__(self, *exc) -> None:
+        global _active
+        _active = self._saved

@@ -76,6 +76,25 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="persistent solver-state cache directory: repeated runs "
+        "replay byte-identical per-slot solves instead of re-running "
+        "Newton (see docs/CACHING.md and the 'cache' subcommand)",
+    )
+    parser.add_argument(
+        "--cache-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict oldest cache entries beyond N solve blobs "
+        "(default: unbounded)",
+    )
+
+
 def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics",
@@ -135,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(run)
     _add_metrics_flag(run)
+    _add_cache_flag(run)
 
     serve = sub.add_parser(
         "serve",
@@ -202,13 +222,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(serve)
     _add_metrics_flag(serve)
+    _add_cache_flag(serve)
 
     replay = sub.add_parser(
         "replay", help="render a recorded serve event log"
     )
     replay.add_argument("events", help="JSONL event log written by 'repro serve'")
     _add_metrics_flag(replay)
+    _add_cache_flag(replay)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear a solver-state cache directory"
+    )
+    cache.add_argument(
+        "action", choices=["stats", "clear"], help="what to do with the cache"
+    )
+    cache.add_argument("dir", help="cache directory (the --cache DIR of a run)")
     return parser
+
+
+def _cmd_cache(args) -> int:
+    """``repro cache stats|clear DIR``."""
+    from repro.cache import SolverStateStore
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        print(f"no cache directory at {root}", file=sys.stderr)
+        return 1
+    store = SolverStateStore(root)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached blobs from {root}")
+        return 0
+    stats = store.stats()
+    entries = stats["entries"]
+    print(f"cache {stats['root']}")
+    print(
+        f"  solve blobs: {entries['solve']}  session blobs: {entries['state']}"
+        f"  ({stats['bytes'] / 1024:.1f} KiB)"
+    )
+    cap = stats["max_entries"]
+    print(f"  max entries: {'unbounded' if cap is None else cap}")
+    return 0
 
 
 def _cmd_serve(args) -> int:
@@ -291,6 +346,8 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "replay":
@@ -355,9 +412,31 @@ def main(argv: "list[str] | None" = None) -> int:
     layer is enabled around the dispatch: metrics land in PATH in
     Prometheus text format, spans in ``PATH.trace.jsonl``, and a
     human-readable summary is printed after the command's own output.
+
+    ``--cache DIR`` activates the persistent solver-state cache around
+    the dispatch (see :mod:`repro.cache`); a one-line op summary is
+    printed when the command used it.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    cache_dir = getattr(args, "cache", None)
+    if cache_dir is not None:
+        from repro.cache import runtime as cache_runtime
+
+        store = cache_runtime.activate(
+            cache_dir, max_entries=getattr(args, "cache_max", None)
+        )
+        try:
+            code = _main_with_metrics(args, parser)
+        finally:
+            cache_runtime.deactivate()
+        print(f"cache {store.root}: {store.counters.describe()}")
+        return code
+    return _main_with_metrics(args, parser)
+
+
+def _main_with_metrics(args, parser: argparse.ArgumentParser) -> int:
+    """Dispatch with the observability layer wrapped around it."""
     metrics_path = getattr(args, "metrics", None)
     if metrics_path is None:
         return _dispatch(args, parser)

@@ -44,6 +44,8 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 import scipy.sparse as sp
 
+from repro.cache import fingerprint as cache_fingerprint
+from repro.cache import runtime as cache_runtime
 from repro.model.allocation import Allocation
 from repro.model.network import CloudNetwork
 from repro.obs import metrics as obs_metrics
@@ -154,6 +156,19 @@ class RegularizedSubproblem:
         # solve_reduced() dispatches every slot through it.
         self.backend = solver_backends.get_backend(config.backend)
         self._backend_handle = self.backend.compile(self)
+
+        # Persistent cross-run solve cache (repro.cache): bound at
+        # construction so a subproblem's cache membership is stable for
+        # its lifetime.  The structure fingerprint keys every solve of
+        # this (network, config) pair; it covers the backend name and
+        # all solver flags, so a shared cache directory never serves a
+        # blob produced under different semantics.
+        self.cache = cache_runtime.active()
+        self._structure_fp = (
+            None
+            if self.cache is None
+            else cache_fingerprint.structure_fingerprint(network, config)
+        )
 
     # ------------------------------------------------------------------
     # Constraint assembly
@@ -432,8 +447,47 @@ class RegularizedSubproblem:
         :class:`~repro.engine.stats.StatsProbe`-shaped recorder (any
         object with ``record_solve``); when given, the solve's backend,
         Newton iteration count and warm-start outcome are recorded.
+
+        With a persistent cache active (``--cache DIR``;
+        :mod:`repro.cache`) the solve is memoized on its *exact*
+        inputs: a hit replays the stored decision — byte-identical to
+        re-solving, because backends are deterministic — with zero
+        Newton iterations, and a miss stores the freshly solved result
+        for later runs.  A cache hit is recorded as a warm-start hit
+        (it is the warmest possible start: the optimum itself).
         """
-        return self.backend.solve(
+        cache = self.cache
+        if cache is None:
+            return self.backend.solve(
+                self._backend_handle,
+                workload,
+                tier2_price,
+                link_price,
+                previous,
+                warm,
+                probe=probe,
+            )
+        key = cache_fingerprint.solve_key(
+            self._structure_fp, workload, tier2_price, link_price, previous, warm
+        )
+        cached = cache.get_solve(key)
+        if cached is not None:
+            reg = obs_metrics.active()
+            if reg is not None:
+                reg.counter(
+                    "subproblem_warm_starts_total",
+                    help="warm-start outcomes per subproblem solve",
+                    outcome="hit",
+                ).inc()
+            if probe is not None:
+                probe.record_solve(
+                    backend="cache",
+                    newton_iters=0,
+                    warm_attempted=True,
+                    warm_used=True,
+                )
+            return cached
+        alloc, v = self.backend.solve(
             self._backend_handle,
             workload,
             tier2_price,
@@ -442,6 +496,8 @@ class RegularizedSubproblem:
             warm,
             probe=probe,
         )
+        cache.put_solve(key, alloc, v)
+        return alloc, v
 
     def _solve_reduced_coupled(
         self,

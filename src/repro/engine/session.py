@@ -283,8 +283,9 @@ class SolveSession:
         export = getattr(self.controller, "export_state", None)
         if export is None:
             raise TypeError(
-                f"controller {self.controller.name!r} does not support state "
-                "export (no export_state hook); checkpointing is unavailable"
+                f"controller {type(self.controller).__name__} "
+                f"({self.controller.name!r}) does not support state export "
+                "(no export_state hook); checkpointing is unavailable"
             )
         return {
             "t": self.t,
@@ -303,8 +304,9 @@ class SolveSession:
         restore = getattr(controller, "restore_state", None)
         if restore is None:
             raise TypeError(
-                f"controller {controller.name!r} does not support state "
-                "restore (no restore_state hook)"
+                f"controller {type(controller).__name__} "
+                f"({controller.name!r}) does not support state restore "
+                "(no restore_state hook)"
             )
         session = cls.__new__(cls)
         session.controller = controller
@@ -315,6 +317,40 @@ class SolveSession:
         session._step_stats = list(snapshot["step_stats"])
         session._probe = getattr(session.state, "probe", None)
         return session
+
+    # ------------------------------------------------------------------
+    # Persistent-cache hooks (see repro.cache; blob format is the
+    # export_state serialization, stored through repro.serve.checkpoint)
+    # ------------------------------------------------------------------
+    def save_to_cache(self, store: Any, key: str) -> None:
+        """Persist this session's :meth:`export_state` snapshot under ``key``.
+
+        ``store`` is a :class:`~repro.cache.store.SolverStateStore`;
+        the blob is a valid serve checkpoint, so a cached session can
+        equally be resumed by the serve runtime.
+        """
+        store.put_state(
+            key, self.export_state(), controller_name=self.controller.name
+        )
+
+    @classmethod
+    def resume_from_cache(
+        cls, controller: Controller, source: Any, store: Any, key: str
+    ) -> "SolveSession | None":
+        """Rebuild a session from a cached snapshot, or ``None`` on a miss.
+
+        A hit continues bitwise-identically to the session that called
+        :meth:`save_to_cache` (same contract as checkpoint resume); a
+        miss — including a corrupted blob — returns ``None`` so the
+        caller starts cold.
+        """
+        snapshot = store.get_state(key)
+        if snapshot is None:
+            return None
+        name = snapshot.get("controller_name", "")
+        if name and name != controller.name:
+            return None
+        return cls.resume(controller, source, snapshot)
 
     def run(self, instance: Any = None) -> Any:
         """Feed every slot of ``instance`` through :meth:`step`.

@@ -33,6 +33,17 @@ should be small tuples of primitives/instances.
   fully-constructed config object (it is a plain dataclass of scalars
   and pickles cheaply); workers at most ``dataclasses.replace`` the
   swept field.
+
+* **Shared solver cache.**  When the parent has a persistent solver
+  cache active (``--cache DIR``; :mod:`repro.cache`), its directory is
+  captured into the payload and each worker re-activates a store on
+  the same directory: workers *read* blobs any prior run (or sibling
+  worker) produced, and their writes are atomic single-writer renames
+  of deterministic content, so no locking or merge step can change
+  what ends up on disk.  Each point additionally returns its cache op
+  counts and the coordinator folds them into its own store in
+  submission order — ``cache stats`` and the obs counters are
+  therefore independent of worker scheduling, exactly like ``--stats``.
 """
 
 from __future__ import annotations
@@ -42,31 +53,48 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.cache import runtime as cache_runtime
 from repro.evaluation.runner import stats_collector
 
 
 def _run_point(
-    fn: Callable[[Any], Any], item: Any, seed: "int | None", collect: bool
-) -> "tuple[Any, list]":
+    fn: Callable[[Any], Any],
+    item: Any,
+    seed: "int | None",
+    collect: bool,
+    cache_dir: "str | None" = None,
+) -> "tuple[Any, list, dict]":
     """Execute one sweep point; used both inline and in workers.
 
     Resets the (per-process) stats collector first: under the ``fork``
     start method a worker inherits the parent's already-collected
-    records, which must not be returned (and merged) twice.
+    records, which must not be returned (and merged) twice.  The third
+    return element is the point's cache op-count delta (empty when no
+    cache is active), measured against the process-local store.
     """
     if collect:
         stats_collector.enable()
         stats_collector.records = []
+    store = None
+    if cache_dir is not None:
+        store = cache_runtime.active()
+        if store is None or str(store.root) != cache_dir:
+            store = cache_runtime.activate(cache_dir)
+    before = store.counters.as_dict() if store is not None else {}
     if seed is not None:
         np.random.seed(seed)
     result = fn(item)
     records = stats_collector.clear() if collect else []
-    return result, records
+    ops: dict = {}
+    if store is not None:
+        after = store.counters.as_dict()
+        ops = {op: after[op] - before.get(op, 0) for op in after}
+    return result, records, ops
 
 
-def _worker(payload: "tuple[Callable, Any, int | None, bool]"):
-    fn, item, seed, collect = payload
-    return _run_point(fn, item, seed, collect)
+def _worker(payload: "tuple[Callable, Any, int | None, bool, str | None]"):
+    fn, item, seed, collect, cache_dir = payload
+    return _run_point(fn, item, seed, collect, cache_dir)
 
 
 def parallel_map(
@@ -102,25 +130,29 @@ def parallel_map(
     if len(seeds) != len(items):
         raise ValueError(f"expected {len(items)} seeds, got {len(seeds)}")
     collect = stats_collector.enabled
+    cache_dir = cache_runtime.active_dir()
     results: list = []
     if not jobs or jobs <= 1 or len(items) <= 1:
         for item, seed in zip(items, seeds):
             saved = stats_collector.records if collect else []
-            result, records = _run_point(fn, item, seed, collect)
+            result, records, _ = _run_point(fn, item, seed, collect, cache_dir)
             if collect:
                 stats_collector.records = saved
             results.append(result)
             stats_collector.merge(records)
         return results
+    parent_store = cache_runtime.active()
     with ProcessPoolExecutor(max_workers=int(jobs)) as pool:
         futures = [
-            pool.submit(_worker, (fn, item, seed, collect))
+            pool.submit(_worker, (fn, item, seed, collect, cache_dir))
             for item, seed in zip(items, seeds)
         ]
         for future in futures:  # submission order == input order
-            result, records = future.result()
+            result, records, ops = future.result()
             results.append(result)
             stats_collector.merge(records)
+            if parent_store is not None and ops:
+                parent_store.merge_counts(ops)
     return results
 
 

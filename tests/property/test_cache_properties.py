@@ -1,0 +1,187 @@
+"""Property-based tests of the cache fingerprint/store layer.
+
+The invariants that make a shared cache directory safe:
+
+* **Stability** — a fingerprint is a pure function of its inputs:
+  recomputing it (in this process or another one, under a different
+  ``PYTHONHASHSEED``) yields the same hex digest.
+* **Distinctness** — any change to a solve's inputs (config flags,
+  backend, network shape, workload, prices, anchors, warm seed)
+  changes the key, so no two different solves can collide in practice.
+* **Corruption safety** — an arbitrarily truncated or bit-flipped blob
+  is *never* served: the store returns ``None`` (a cold solve), not
+  wrong data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import SolverStateStore, config_fingerprint, solve_key
+from repro.core import SubproblemConfig
+from repro.model import Allocation
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+finite_floats = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(n: int):
+    return st.lists(finite_floats, min_size=n, max_size=n).map(np.array)
+
+
+class TestSolveKeyProperties:
+    @given(w=vectors(3), t2=vectors(2), link=vectors(4))
+    @settings(max_examples=50, deadline=None)
+    def test_key_is_stable_on_recomputation(self, w, t2, link):
+        prev = Allocation.zeros(4)
+        keys = {solve_key("fp", w, t2, link, prev, None) for _ in range(3)}
+        assert len(keys) == 1
+
+    @given(w=vectors(3), delta=st.integers(min_value=0, max_value=2),
+           bump=st.floats(min_value=1e-12, max_value=10.0,
+                          allow_nan=False, allow_infinity=False))
+    @settings(max_examples=50, deadline=None)
+    def test_any_workload_change_changes_key(self, w, delta, bump):
+        t2, link, prev = np.zeros(2), np.zeros(4), Allocation.zeros(4)
+        base = solve_key("fp", w, t2, link, prev, None)
+        changed = w.copy()
+        changed[delta] += bump
+        assert solve_key("fp", changed, t2, link, prev, None) != base
+
+    @given(w=vectors(3))
+    @settings(max_examples=20, deadline=None)
+    def test_warm_none_differs_from_any_warm_vector(self, w):
+        t2, link, prev = np.zeros(2), np.zeros(4), Allocation.zeros(4)
+        assert solve_key("fp", w, t2, link, prev, None) != solve_key(
+            "fp", w, t2, link, prev, np.zeros(4)
+        )
+
+    @given(x=vectors(4), field=st.sampled_from(["x", "y", "s"]))
+    @settings(max_examples=30, deadline=None)
+    def test_every_anchor_component_is_keyed(self, x, field):
+        w, t2, link = np.zeros(3), np.zeros(2), np.zeros(4)
+        prev = Allocation.zeros(4)
+        base = solve_key("fp", w, t2, link, prev, None)
+        parts = {"x": prev.x, "y": prev.y, "s": prev.s}
+        parts[field] = x + 1.0
+        bumped = Allocation(parts["x"], parts["y"], parts["s"])
+        assert solve_key("fp", w, t2, link, bumped, None) != base
+
+
+class TestConfigKeyProperties:
+    @given(
+        epsilon=st.floats(min_value=1e-6, max_value=1.0,
+                          allow_nan=False, allow_infinity=False),
+        hedging=st.booleans(),
+        fused=st.booleans(),
+        backend=st.sampled_from(["sequential", "batched"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_configs_distinct_fingerprints(
+        self, epsilon, hedging, fused, backend
+    ):
+        config = SubproblemConfig(
+            epsilon=epsilon, hedging=hedging, fused_kernels=fused, backend=backend
+        )
+        fp = config_fingerprint(config)
+        # Same values -> same digest.
+        assert fp == config_fingerprint(dataclasses.replace(config))
+        # Flipping any single field -> different digest.
+        for changed in (
+            dataclasses.replace(config, epsilon=epsilon * 2.0 + 1e-6),
+            dataclasses.replace(config, hedging=not hedging),
+            dataclasses.replace(config, fused_kernels=not fused),
+            dataclasses.replace(
+                config,
+                backend="batched" if backend == "sequential" else "sequential",
+            ),
+        ):
+            assert config_fingerprint(changed) != fp
+
+
+class TestCorruptionSafety:
+    KEY = "ab" + "0" * 62
+
+    @given(cut=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=25, deadline=None)
+    def test_truncated_blob_never_served(self, tmp_path_factory, cut):
+        root = tmp_path_factory.mktemp("cache")
+        store = SolverStateStore(root)
+        store.put_solve(self.KEY, Allocation.zeros(3), np.zeros(5))
+        path = store._blob_path("solve", self.KEY)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: min(cut, len(payload) - 1)])
+        fresh = SolverStateStore(root)
+        assert fresh.get_solve(self.KEY) is None
+        assert fresh.counters.corrupt == 1
+
+    @given(pos=st.integers(min_value=0, max_value=10**6),
+           flip=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=25, deadline=None)
+    def test_bitflipped_blob_is_rejected_or_identical(
+        self, tmp_path_factory, pos, flip
+    ):
+        root = tmp_path_factory.mktemp("cache")
+        store = SolverStateStore(root)
+        alloc = Allocation(np.arange(3.0), np.arange(3.0), np.arange(3.0))
+        v = np.arange(5.0)
+        store.put_solve(self.KEY, alloc, v)
+        path = store._blob_path("solve", self.KEY)
+        payload = bytearray(path.read_bytes())
+        payload[pos % len(payload)] ^= flip
+        path.write_bytes(bytes(payload))
+        got = SolverStateStore(root).get_solve(self.KEY)
+        # Either the flip was caught (cold solve) or it landed in
+        # npz padding/metadata the arrays never touch — in which case
+        # the data served must still be exactly what was stored.
+        if got is not None:
+            assert np.array_equal(got[0].x, alloc.x)
+            assert np.array_equal(got[0].y, alloc.y)
+            assert np.array_equal(got[0].s, alloc.s)
+            assert np.array_equal(got[1], v)
+
+
+class TestCrossProcessStability:
+    def test_fingerprint_identical_under_other_hashseed(self):
+        """The same key must come out of a different interpreter with a
+        different ``PYTHONHASHSEED`` (nothing may rely on ``hash()``)."""
+        script = (
+            "import numpy as np\n"
+            "from repro.cache import config_fingerprint, solve_key\n"
+            "from repro.core import SubproblemConfig\n"
+            "from repro.model import Allocation\n"
+            "cfg = config_fingerprint(SubproblemConfig(epsilon=1e-2))\n"
+            "key = solve_key('fp', np.arange(3.0), np.arange(2.0),\n"
+            "                np.arange(4.0), Allocation.zeros(4), None)\n"
+            "print(cfg); print(key)\n"
+        )
+
+        def run(seed: str) -> "list[str]":
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=SRC)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            return out.stdout.splitlines()
+
+        here = run("0")
+        there = run("12345")
+        assert here == there
+        # And both match this process's own computation.
+        cfg = config_fingerprint(SubproblemConfig(epsilon=1e-2))
+        key = solve_key(
+            "fp", np.arange(3.0), np.arange(2.0), np.arange(4.0),
+            Allocation.zeros(4), None,
+        )
+        assert here == [cfg, key]

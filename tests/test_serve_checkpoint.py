@@ -121,11 +121,18 @@ class TestRoundTrip:
                 raise NotImplementedError
 
         session = SolveSession(NoHooks(), network)
-        with pytest.raises(TypeError, match="export_state"):
+        # The failure message must name the concrete controller class
+        # (and its registered name), not just the missing hook — a bare
+        # "no export_state" is useless when the session wraps a
+        # user-supplied controller.
+        with pytest.raises(TypeError, match="export_state") as exc:
             session.export_state()
-        with pytest.raises(TypeError, match="restore_state"):
+        assert "NoHooks" in str(exc.value)
+        assert "bare" in str(exc.value)
+        with pytest.raises(TypeError, match="restore_state") as exc:
             SolveSession.resume(NoHooks(), network, {"controller": {}, "t": 0,
                                                      "steps": [], "step_stats": []})
+        assert "NoHooks" in str(exc.value)
 
 
 class TestKillAndResume:
