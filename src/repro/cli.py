@@ -106,6 +106,18 @@ def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="enable the metrics registry and stream delta-encoded "
+        "snapshots of it into a per-process sink under DIR; follow "
+        "live with 'repro telemetry watch DIR' "
+        "(see docs/OBSERVABILITY.md)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``python -m repro`` argument parser."""
     from repro import __version__
@@ -154,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(run)
     _add_metrics_flag(run)
+    _add_telemetry_flag(run)
     _add_cache_flag(run)
 
     serve = sub.add_parser(
@@ -220,8 +233,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--inject-seed", type=int, default=0, help="fault-injection seed"
     )
+    serve.add_argument(
+        "--watch", action="store_true",
+        help="repaint a live top-style console view (per-phase latency, "
+        "ops counters, health gauges) after every slot",
+    )
+    serve.add_argument(
+        "--alert", action="append", default=None, metavar="RULE",
+        help="health alert rule 'metric>threshold[:slots]', e.g. "
+        "'competitive_ratio>1.5:3'; fires an 'alert' event into the "
+        "event log (may be given multiple times)",
+    )
+    serve.add_argument(
+        "--slo-target", type=float, default=0.1, metavar="FRAC",
+        help="allowed deadline-miss fraction; the health burn-rate "
+        "gauge is the windowed miss rate divided by this (default 0.1)",
+    )
     _add_backend_flag(serve)
     _add_metrics_flag(serve)
+    _add_telemetry_flag(serve)
     _add_cache_flag(serve)
 
     replay = sub.add_parser(
@@ -230,6 +260,30 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("events", help="JSONL event log written by 'repro serve'")
     _add_metrics_flag(replay)
     _add_cache_flag(replay)
+
+    telem = sub.add_parser(
+        "telemetry",
+        help="watch or merge a telemetry directory written with --telemetry",
+    )
+    telem.add_argument(
+        "action", choices=["watch", "merge"],
+        help="'watch' repaints a live merged view; 'merge' aggregates "
+        "every sink once and renders/exports the combined registry",
+    )
+    telem.add_argument("dir", help="telemetry directory (the --telemetry DIR)")
+    telem.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="watch refresh interval in seconds (default 1.0)",
+    )
+    telem.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop the watch after N repaints (default: until Ctrl-C)",
+    )
+    telem.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="merge only: also write the merged registry as "
+        "Prometheus text to PATH",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear a solver-state cache directory"
@@ -270,6 +324,8 @@ def _cmd_serve(args) -> int:
     """Run the streaming serve loop over an hourly-CSV trace."""
     from repro.core import RegularizedOnline
     from repro.core.subproblem import SubproblemConfig
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.health import HealthMonitor
     from repro.serve import (
         EventLog,
         FaultInjector,
@@ -307,19 +363,86 @@ def _cmd_serve(args) -> int:
     if args.record_feed:
         n = write_feed(args.record_feed, source)
         print(f"recorded {n}-slot feed to {args.record_feed}")
+    try:
+        health = HealthMonitor(
+            source.network,
+            rules=args.alert or [],
+            slo_target=args.slo_target,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    on_slot = None
+    if args.watch:
+        from repro.obs.telemetry import CLEAR_SCREEN, render_watch
+
+        clear = sys.stdout.isatty()
+
+        def on_slot(loop, outcome) -> None:
+            reg = obs_metrics.active()
+            if reg is None:
+                return
+            frame = render_watch(
+                reg.snapshot(), title=f"serve slot {loop.session.t}"
+            )
+            sys.stdout.write((CLEAR_SCREEN if clear else "") + frame + "\n")
+            sys.stdout.flush()
+
     with EventLog(args.events) as log:
         if args.resume and args.checkpoint and Path(args.checkpoint).exists():
             loop = ServeLoop.resume(
-                controller, source, args.checkpoint, config=config, event_log=log
+                controller, source, args.checkpoint, config=config,
+                event_log=log, health=health, on_slot=on_slot,
             )
             print(f"resumed from {args.checkpoint} at slot {loop.session.t}")
         else:
-            loop = ServeLoop(controller, source, config=config, event_log=log)
+            loop = ServeLoop(
+                controller, source, config=config, event_log=log,
+                health=health, on_slot=on_slot,
+            )
         report = loop.run()
     print(report.describe())
+    for alert in health.alerts:
+        print(
+            f"ALERT t={alert['t']}: {alert['rule']} "
+            f"(value {alert['value']:.4g})"
+        )
     if args.events:
         print(f"event log: {args.events}")
     return 0 if report.summary["unserved"] == 0 and report.error is None else 1
+
+
+def _cmd_telemetry(args) -> int:
+    """``repro telemetry watch|merge DIR``."""
+    from repro.obs import telemetry as obs_telemetry
+
+    if args.action == "watch":
+        obs_telemetry.watch(
+            args.dir,
+            interval_s=args.interval,
+            iterations=args.iterations,
+            clear=sys.stdout.isatty(),
+        )
+        return 0
+    from repro.evaluation.reporting import render_metrics
+
+    aggregator = obs_telemetry.TelemetryAggregator(args.dir)
+    records = aggregator.poll()
+    snapshot = aggregator.merged_snapshot()
+    if not snapshot["metrics"]:
+        print(f"no telemetry found under {args.dir}", file=sys.stderr)
+        return 1
+    print(
+        f"merged {records} records from {len(aggregator.sink_ids())} "
+        f"sinks under {args.dir}"
+    )
+    print(render_metrics(snapshot))
+    if args.out:
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(snapshot, args.out)
+        print(f"merged metrics: {args.out}")
+    return 0
 
 
 def _cmd_replay(args) -> int:
@@ -348,6 +471,8 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
         return 2
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "replay":
@@ -436,27 +561,45 @@ def main(argv: "list[str] | None" = None) -> int:
 
 
 def _main_with_metrics(args, parser: argparse.ArgumentParser) -> int:
-    """Dispatch with the observability layer wrapped around it."""
+    """Dispatch with the observability layer wrapped around it.
+
+    The registry is enabled when any of ``--metrics``, ``--telemetry``
+    or serve's ``--watch`` needs it; ``--telemetry DIR`` additionally
+    attaches an ambient sink under DIR that the engine/serve loops
+    flush at their own cadence (final state flushed on detach).
+    """
     metrics_path = getattr(args, "metrics", None)
-    if metrics_path is None:
+    telemetry_dir = getattr(args, "telemetry", None)
+    watch = getattr(args, "watch", False)
+    if metrics_path is None and telemetry_dir is None and not watch:
         return _dispatch(args, parser)
 
     from repro.evaluation.reporting import render_metrics
     from repro.obs import metrics as obs_metrics
+    from repro.obs import telemetry as obs_telemetry
     from repro.obs import tracing as obs_tracing
     from repro.obs.export import write_prometheus
 
     obs_metrics.enable()
-    obs_tracing.enable(path=f"{metrics_path}.trace.jsonl")
+    if metrics_path is not None:
+        obs_tracing.enable(path=f"{metrics_path}.trace.jsonl")
+    if telemetry_dir is not None:
+        obs_telemetry.attach(telemetry_dir)
     try:
         code = _dispatch(args, parser)
     finally:
         snapshot = obs_metrics.active().snapshot()
+        if telemetry_dir is not None:
+            obs_telemetry.detach()
         obs_tracing.disable()
         obs_metrics.disable()
-        write_prometheus(snapshot, metrics_path)
-    print()
-    print(render_metrics(snapshot))
-    print(f"metrics: {metrics_path}")
-    print(f"trace:   {metrics_path}.trace.jsonl")
+        if metrics_path is not None:
+            write_prometheus(snapshot, metrics_path)
+    if metrics_path is not None:
+        print()
+        print(render_metrics(snapshot))
+        print(f"metrics: {metrics_path}")
+        print(f"trace:   {metrics_path}.trace.jsonl")
+    if telemetry_dir is not None:
+        print(f"telemetry: {telemetry_dir}")
     return code

@@ -45,6 +45,7 @@ import numpy as np
 from repro.engine.stats import RunStats, StatsProbe, StepStats, publish_step_stats
 from repro.model.allocation import Trajectory
 from repro.model.instance import Instance
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import tracing as obs_tracing
 from repro.util.timing import Timer
 
@@ -218,6 +219,10 @@ class SolveSession:
                 fallback=stats.fallbacks > 0,
             )
         publish_step_stats(stats)
+        # Stream the updated registry at the ambient sink's cadence
+        # (one module-global None check when telemetry is off), so
+        # long batch runs are observable mid-flight, not just at exit.
+        obs_telemetry.autoflush()
         self._step_stats.append(stats)
         self._steps.append(decision)
         self.t += 1

@@ -44,10 +44,27 @@ should be small tuples of primitives/instances.
   counts and the coordinator folds them into its own store in
   submission order — ``cache stats`` and the obs counters are
   therefore independent of worker scheduling, exactly like ``--stats``.
+
+* **Workers publish full registries.**  When the parent has a metrics
+  registry active (``--metrics``/``--telemetry``), every worker
+  enables a *fresh* registry of its own (dropping the fork-inherited
+  parent state, which the parent already owns) and streams it through
+  a :class:`~repro.obs.telemetry.TelemetrySink` into a per-call
+  scratch directory; after the futures drain, the coordinator runs a
+  :class:`~repro.obs.telemetry.TelemetryAggregator` over the sinks
+  and folds the merged snapshot into its own registry.  Counter
+  totals (engine steps, Newton iterations, backend slots, warm-start
+  hits …) therefore equal the serial run's exactly — CI asserts the
+  deterministic view of a ``--jobs 2`` sweep is byte-identical to
+  serial.  Cache op counters are excluded from the telemetry merge
+  (the submission-order ``merge_counts`` fold above already lands
+  them) so they are never counted twice.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
@@ -55,6 +72,33 @@ import numpy as np
 
 from repro.cache import runtime as cache_runtime
 from repro.evaluation.runner import stats_collector
+from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry as obs_telemetry
+
+#: Per-process worker telemetry (one sink per worker per sweep call).
+_worker_telemetry: dict = {"dir": None, "sink": None}
+
+
+def _worker_sink(telemetry_dir: str):
+    """The calling worker process's sink for ``telemetry_dir``.
+
+    First call in a given worker (per sweep): sever any fork-inherited
+    ambient sink, enable a fresh registry (the inherited one holds the
+    parent's counts, which the parent still owns — counting work into
+    both would double it after the merge), and open a per-pid sink.
+    Subsequent points in the same worker reuse both, so the sink
+    streams the worker's cumulative registry.
+    """
+    if _worker_telemetry["dir"] != telemetry_dir:
+        obs_telemetry.forget_inherited()
+        if _worker_telemetry["sink"] is not None:
+            _worker_telemetry["sink"].close()
+        registry = obs_metrics.enable(obs_metrics.MetricsRegistry())
+        _worker_telemetry["sink"] = obs_telemetry.TelemetrySink(
+            telemetry_dir, registry=registry, label=f"worker-{os.getpid()}"
+        )
+        _worker_telemetry["dir"] = telemetry_dir
+    return _worker_telemetry["sink"]
 
 
 def _run_point(
@@ -63,6 +107,7 @@ def _run_point(
     seed: "int | None",
     collect: bool,
     cache_dir: "str | None" = None,
+    telemetry_dir: "str | None" = None,
 ) -> "tuple[Any, list, dict]":
     """Execute one sweep point; used both inline and in workers.
 
@@ -71,7 +116,14 @@ def _run_point(
     records, which must not be returned (and merged) twice.  The third
     return element is the point's cache op-count delta (empty when no
     cache is active), measured against the process-local store.
+    ``telemetry_dir`` is only passed to pool workers: it routes the
+    point's metrics into a fresh worker registry streamed to a sink
+    the coordinator aggregates (never set on the inline path, where
+    points publish directly into the parent registry).
     """
+    sink = None
+    if telemetry_dir is not None:
+        sink = _worker_sink(telemetry_dir)
     if collect:
         stats_collector.enable()
         stats_collector.records = []
@@ -89,12 +141,16 @@ def _run_point(
     if store is not None:
         after = store.counters.as_dict()
         ops = {op: after[op] - before.get(op, 0) for op in after}
+    if sink is not None:
+        sink.flush(force=True)
     return result, records, ops
 
 
-def _worker(payload: "tuple[Callable, Any, int | None, bool, str | None]"):
-    fn, item, seed, collect, cache_dir = payload
-    return _run_point(fn, item, seed, collect, cache_dir)
+def _worker(
+    payload: "tuple[Callable, Any, int | None, bool, str | None, str | None]",
+):
+    fn, item, seed, collect, cache_dir, telemetry_dir = payload
+    return _run_point(fn, item, seed, collect, cache_dir, telemetry_dir)
 
 
 def parallel_map(
@@ -142,17 +198,51 @@ def parallel_map(
             stats_collector.merge(records)
         return results
     parent_store = cache_runtime.active()
-    with ProcessPoolExecutor(max_workers=int(jobs)) as pool:
-        futures = [
-            pool.submit(_worker, (fn, item, seed, collect, cache_dir))
-            for item, seed in zip(items, seeds)
-        ]
-        for future in futures:  # submission order == input order
-            result, records, ops = future.result()
-            results.append(result)
-            stats_collector.merge(records)
-            if parent_store is not None and ops:
-                parent_store.merge_counts(ops)
+    parent_registry = obs_metrics.active()
+    scratch = None
+    telemetry_dir = None
+    if parent_registry is not None:
+        # Workers stream their registries into a per-call scratch dir;
+        # a scratch (not the ambient --telemetry dir) so the parent's
+        # own sink remains the single account of this process's
+        # registry and external aggregation never sees the same work
+        # twice (once from a worker sink, once post-merge).
+        scratch = tempfile.TemporaryDirectory(prefix="repro-sweep-telemetry-")
+        telemetry_dir = scratch.name
+    try:
+        with ProcessPoolExecutor(max_workers=int(jobs)) as pool:
+            futures = [
+                pool.submit(
+                    _worker, (fn, item, seed, collect, cache_dir, telemetry_dir)
+                )
+                for item, seed in zip(items, seeds)
+            ]
+            for future in futures:  # submission order == input order
+                result, records, ops = future.result()
+                results.append(result)
+                stats_collector.merge(records)
+                if parent_store is not None and ops:
+                    parent_store.merge_counts(ops)
+        if parent_registry is not None:
+            aggregator = obs_telemetry.TelemetryAggregator(telemetry_dir)
+            aggregator.poll()
+            merged = aggregator.merged_snapshot()
+            if parent_store is not None:
+                # merge_counts above already landed cache ops (in
+                # submission order); dropping them here keeps the
+                # registry totals single-counted.
+                merged = {
+                    "schema": merged["schema"],
+                    "metrics": [
+                        e
+                        for e in merged["metrics"]
+                        if e["name"] != "solver_cache_ops_total"
+                    ],
+                }
+            obs_telemetry.merge_snapshot_into(parent_registry, merged)
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
     return results
 
 

@@ -103,8 +103,25 @@ def render_serve_events(events: "list[dict]") -> str:
         ("fallbacks", summary["fallbacks"]),
         ("checkpoints", summary["checkpoints"]),
         ("source errors", summary["source_errors"]),
+        ("alerts", summary["alerts"]),
     ]
     parts = [format_table(["metric", "value"], summary_rows)]
+
+    alert_rows = [
+        (
+            event.get("t", "-"),
+            event.get("rule", "?"),
+            event.get("value", 0.0),
+            event.get("threshold", 0.0),
+        )
+        for event in events
+        if event.get("event") == "alert"
+    ]
+    if alert_rows:
+        parts.append("")
+        parts.append(
+            format_table(["slot", "alert rule", "value", "threshold"], alert_rows)
+        )
 
     slot_rows = [
         (
@@ -142,8 +159,9 @@ def render_metrics(snapshot: dict) -> str:
     likewise a ``solver_cache_ops_total`` summary when the persistent
     solver cache (``--cache``) was active.
     """
-    from repro.obs.export import describe_snapshot
+    from repro.obs.export import describe_snapshot, with_derived
 
+    snapshot = with_derived(snapshot)
     out = "== metrics ==\n" + describe_snapshot(snapshot)
     warm = {"hit": 0.0, "miss": 0.0, "cold": 0.0}
     cache_ops = {"hit": 0.0, "miss": 0.0, "store": 0.0, "evict": 0.0, "corrupt": 0.0}

@@ -10,7 +10,16 @@ every layer of the library (see ``docs/OBSERVABILITY.md``):
 * :mod:`repro.obs.tracing` — a span tracer with per-thread nesting and
   optional JSONL streaming, same no-op default;
 * :mod:`repro.obs.export` — Prometheus text / human table / JSON
-  exporters over the plain-dict snapshot format.
+  exporters over the plain-dict snapshot format;
+* :mod:`repro.obs.telemetry` — streaming per-process JSONL sinks plus
+  a cross-process :class:`~repro.obs.telemetry.TelemetryAggregator`
+  whose merge is associative/commutative/idempotent, and the
+  ``telemetry watch`` console view;
+* :mod:`repro.obs.health` — online algorithm-health gauges (empirical
+  competitive ratio, switching-cost share, SLO burn rate) and
+  declarative alert rules.  It needs numpy, so unlike the rest of the
+  package it is **not** imported here — ``repro.obs`` itself stays
+  importable on a bare stdlib.
 
 Instrumented layers: the barrier solver (Newton iterations, line-search
 backtracks, factorization time), the solve engine (per-step stats routed
@@ -20,12 +29,13 @@ runtime (per-slot phase accounting + events routed through
 flag enables everything for one run and writes the exports.
 """
 
-from repro.obs import export, metrics, tracing
+from repro.obs import export, metrics, telemetry, tracing
 from repro.obs.export import (
     describe_snapshot,
     load_snapshot_json,
     parse_prometheus,
     to_prometheus,
+    with_derived,
     write_prometheus,
     write_snapshot_json,
 )
@@ -38,12 +48,34 @@ from repro.obs.metrics import (
     MetricsRegistry,
     registry_from_snapshot,
 )
+from repro.obs.telemetry import (
+    SINK_SUFFIX,
+    TELEMETRY_SCHEMA,
+    TelemetryAggregator,
+    TelemetrySink,
+    deterministic_view,
+    merge_snapshot_into,
+    merge_snapshots,
+    read_sink,
+    replay_sink,
+)
 from repro.obs.tracing import TRACE_SCHEMA, Span, Tracer, read_trace
 
 __all__ = [
     "metrics",
     "tracing",
     "export",
+    "telemetry",
+    "TelemetrySink",
+    "TelemetryAggregator",
+    "read_sink",
+    "replay_sink",
+    "merge_snapshots",
+    "merge_snapshot_into",
+    "deterministic_view",
+    "TELEMETRY_SCHEMA",
+    "SINK_SUFFIX",
+    "with_derived",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -160,6 +160,17 @@ class Tracer:
                 self._fh.write(json.dumps(record, sort_keys=True) + "\n")
 
     # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Push buffered spans to the stream file (crash durability).
+
+        The serve loop calls this at every checkpoint so the trace on
+        disk always covers at least every durable slot — a kill after
+        a checkpoint can no longer lose the spans that led up to it.
+        """
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()

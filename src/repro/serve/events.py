@@ -65,6 +65,12 @@ def publish_event(record: dict) -> None:
             help="fallback-chain engagements, by trigger",
             reason=record.get("reason", "?"),
         ).inc()
+    elif kind == "alert":
+        reg.counter(
+            "serve_alerts_total",
+            help="health alert-rule firings, by rule",
+            rule=record.get("rule", "?"),
+        ).inc()
     elif kind == "checkpoint_written":
         reg.counter(
             "serve_checkpoints_total", help="checkpoints written"
@@ -135,9 +141,9 @@ def summarize_events(events: "list[dict]") -> dict:
 
     Returns a dict with the slot count, per-path serve counts
     (``primary`` / ``hold`` / ``greedy``), deadline misses, fallback
-    engagements, checkpoints written, skipped source records and the
-    number of unserved slots (slots whose workload could not be fully
-    covered even by the greedy fallback).
+    engagements, checkpoints written, skipped source records, health
+    alert firings and the number of unserved slots (slots whose
+    workload could not be fully covered even by the greedy fallback).
     """
     paths: dict[str, int] = {}
     summary = {
@@ -147,6 +153,7 @@ def summarize_events(events: "list[dict]") -> dict:
         "checkpoints": 0,
         "source_errors": 0,
         "unserved": 0,
+        "alerts": 0,
     }
     for event in events:
         kind = event.get("event")
@@ -160,6 +167,8 @@ def summarize_events(events: "list[dict]") -> dict:
                 summary["unserved"] += 1
         elif kind == "fallback":
             summary["fallbacks"] += 1
+        elif kind == "alert":
+            summary["alerts"] += 1
         elif kind == "checkpoint_written":
             summary["checkpoints"] += 1
         elif kind == "source_error":

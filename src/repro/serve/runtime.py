@@ -44,6 +44,7 @@ from repro.engine.session import SlotData, SolveSession
 from repro.model.allocation import Allocation
 from repro.model.network import CloudNetwork
 from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import tracing as obs_tracing
 from repro.serve.checkpoint import load_checkpoint, save_checkpoint
 from repro.serve.events import EVENT_SCHEMA, EventLog, summarize_events
@@ -219,6 +220,8 @@ class ServeReport:
             f"{s['fallbacks']} fallbacks",
             f"{s['checkpoints']} checkpoints",
         ]
+        if s.get("alerts"):
+            parts.append(f"{s['alerts']} alerts")
         if self.error:
             parts.append(f"stopped on source error: {self.error}")
         return "; ".join(parts)
@@ -242,6 +245,15 @@ class ServeLoop:
         Event sink; defaults to an in-memory :class:`EventLog`.
     initial:
         Decision at slot ``-1`` (controller default when ``None``).
+    health:
+        Optional :class:`~repro.obs.health.HealthMonitor`; fed every
+        decided slot (primary or fallback) so its gauges track the
+        trajectory that actually ran, and its alert rules emit
+        ``alert`` events into this loop's event log.
+    on_slot:
+        Optional ``(loop, outcome) -> None`` hook called after each
+        slot is fully published — the ``--watch`` console view hangs
+        off this.
     """
 
     def __init__(
@@ -252,6 +264,8 @@ class ServeLoop:
         event_log: "EventLog | None" = None,
         initial: "Allocation | None" = None,
         *,
+        health=None,
+        on_slot=None,
         _session: "SolveSession | None" = None,
         _paths: "list[str] | None" = None,
     ) -> None:
@@ -259,6 +273,8 @@ class ServeLoop:
         self.source: SlotSource = as_source(source)
         self.config = config or ServeConfig()
         self.log = event_log if event_log is not None else EventLog()
+        self.health = health
+        self.on_slot = on_slot
         if _session is not None:
             self.session = _session
         else:
@@ -283,6 +299,8 @@ class ServeLoop:
         checkpoint_path: "str | Path",
         config: "ServeConfig | None" = None,
         event_log: "EventLog | None" = None,
+        health=None,
+        on_slot=None,
     ) -> "ServeLoop":
         """Rebuild a loop from a checkpoint written by a previous run."""
         snapshot = load_checkpoint(checkpoint_path)
@@ -303,6 +321,8 @@ class ServeLoop:
             src,
             config=config,
             event_log=event_log,
+            health=health,
+            on_slot=on_slot,
             _session=session,
             _paths=snapshot["paths"],
         )
@@ -369,6 +389,16 @@ class ServeLoop:
                 outcome.slot_wall - sum(outcome.phases.values()), 0.0
             )
             self._publish_slot(outcome)
+            if self.health is not None:
+                self.health.observe_slot(
+                    outcome.t, slot, outcome.decision,
+                    outcome=outcome, log=self.log,
+                )
+            # Stream the registry (including this slot's health gauges)
+            # to any attached telemetry sink at its own cadence.
+            obs_telemetry.autoflush()
+            if self.on_slot is not None:
+                self.on_slot(self, outcome)
         if cfg.checkpoint_path is not None and self.session.t > start_t:
             with obs_tracing.span("serve.final_checkpoint", t=self.session.t):
                 self._write_checkpoint()
@@ -544,6 +574,16 @@ class ServeLoop:
             path=str(cfg.checkpoint_path),
             n_steps=len(snapshot["steps"]),
         )
+        # Checkpoints are the durability boundary: make the trace and
+        # telemetry streams on disk at least as current as the
+        # checkpoint, so a kill loses no span/snapshot that led to a
+        # durable slot.
+        tracer = obs_tracing.active()
+        if tracer is not None:
+            tracer.flush()
+        sink = obs_telemetry.active_sink()
+        if sink is not None:
+            sink.flush(force=True)
 
     def _finish(self, error: "str | None") -> ServeReport:
         summary = summarize_events(self.log.events)

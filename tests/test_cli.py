@@ -148,3 +148,117 @@ class TestRun:
         assert main(["run", "thm23"]) == 0
         out = capsys.readouterr().out
         assert "greedy/opt" in out
+
+
+class TestTelemetryAndHealth:
+    SMALL = TestServeCommand.SMALL
+
+    def test_serve_telemetry_writes_replayable_sink(self, capsys, trace_csv, tmp_path):
+        from repro.obs import telemetry as obs_telemetry
+
+        tdir = tmp_path / "telemetry"
+        rc = main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "4",
+             "--telemetry", str(tdir), *self.SMALL]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"telemetry: {tdir}" in out
+        assert obs_telemetry.active_sink() is None  # detached afterwards
+        sinks = list(tdir.glob(f"*{obs_telemetry.SINK_SUFFIX}"))
+        assert len(sinks) == 1
+        snapshot = obs_telemetry.replay_sink(obs_telemetry.read_sink(sinks[0]))
+        slots = [
+            e for e in snapshot["metrics"] if e["name"] == "serve_slots_total"
+        ]
+        assert sum(e["value"] for e in slots) == 4
+
+    def test_serve_alert_rule_emits_event_and_health_gauges(
+        self, capsys, trace_csv, tmp_path
+    ):
+        from repro.obs.export import parse_prometheus
+
+        events = tmp_path / "events.jsonl"
+        prom = tmp_path / "serve.prom"
+        rc = main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "4",
+             "--events", str(events), "--metrics", str(prom),
+             "--alert", "competitive_ratio>=1",
+             "--alert", "slo_burn_rate>100",  # never fires
+             *self.SMALL]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 alerts" in out
+        assert "ALERT t=0: competitive_ratio>=1" in out
+        payloads = [json.loads(line) for line in events.read_text().splitlines()]
+        alerts = [p for p in payloads if p["event"] == "alert"]
+        assert len(alerts) == 1
+        assert alerts[0]["metric"] == "health_competitive_ratio"
+        samples = parse_prometheus(prom.read_text())
+        assert samples[("health_competitive_ratio", ())] >= 1.0
+        assert ("health_switching_share", ()) in samples
+        assert ("health_slo_burn_rate", ()) in samples
+        assert samples[
+            ("serve_alerts_total", (("rule", "competitive_ratio>=1"),))
+        ] == 1
+        capsys.readouterr()
+        assert main(["replay", str(events)]) == 0
+        replay_out = capsys.readouterr().out
+        assert "alerts" in replay_out and "competitive_ratio>=1" in replay_out
+
+    def test_serve_rejects_malformed_alert_rule(self, capsys, trace_csv):
+        rc = main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "2",
+             "--alert", "not a rule", *self.SMALL]
+        )
+        assert rc == 1
+        assert "malformed alert rule" in capsys.readouterr().err
+
+    def test_serve_watch_renders_frames(self, capsys, trace_csv):
+        rc = main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "3",
+             "--watch", *self.SMALL]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        # One frame per slot, driven off the live registry.
+        assert out.count("== serve slot") == 3
+        assert "slots decided" in out
+
+    def test_telemetry_merge_command(self, capsys, trace_csv, tmp_path):
+        tdir = tmp_path / "telemetry"
+        assert main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "4",
+             "--telemetry", str(tdir), *self.SMALL]
+        ) == 0
+        capsys.readouterr()
+        out_prom = tmp_path / "merged.prom"
+        assert main(
+            ["telemetry", "merge", str(tdir), "--out", str(out_prom)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 sinks" in out
+        assert "== metrics ==" in out
+        from repro.obs.export import parse_prometheus
+
+        samples = parse_prometheus(out_prom.read_text())
+        assert samples[("serve_slots_total", (("path", "primary"),))] == 4
+
+    def test_telemetry_merge_empty_dir_fails(self, capsys, tmp_path):
+        assert main(["telemetry", "merge", str(tmp_path)]) == 1
+        assert "no telemetry" in capsys.readouterr().err
+
+    def test_telemetry_watch_iterations(self, capsys, trace_csv, tmp_path):
+        tdir = tmp_path / "telemetry"
+        assert main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "2",
+             "--telemetry", str(tdir), *self.SMALL]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["telemetry", "watch", str(tdir), "--iterations", "2",
+             "--interval", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("== telemetry") == 2

@@ -104,3 +104,54 @@ class TestStatsMerge:
     def test_disabled_collector_stays_empty(self):
         parallel_map(_recording, [1, 2], jobs=2)
         assert stats_collector.records == []
+
+
+def _counting(x):
+    # Publishes into whatever registry is active in the worker process.
+    from repro.obs import metrics as obs_metrics
+
+    reg = obs_metrics.active()
+    if reg is not None:
+        reg.counter(
+            "sweep_points_total", help="points", parity=str(x % 2)
+        ).inc()
+        reg.histogram("sweep_point_cost", help="cost").observe(float(x))
+    return x
+
+
+class TestTelemetryMerge:
+    def test_parallel_counters_merge_into_parent_registry(self):
+        from repro.obs import metrics as obs_metrics
+
+        with obs_metrics.use() as reg:
+            parallel_map(_counting, list(range(6)), jobs=2)
+            entries = [
+                e
+                for e in reg.snapshot()["metrics"]
+                if e["name"] == "sweep_points_total"
+            ]
+            assert sum(e["value"] for e in entries) == 6
+            hist = [
+                e
+                for e in reg.snapshot()["metrics"]
+                if e["name"] == "sweep_point_cost"
+            ]
+            assert hist[0]["count"] == 6
+
+    def test_serial_and_parallel_views_identical(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.telemetry import deterministic_view
+
+        with obs_metrics.use() as reg:
+            parallel_map(_counting, list(range(6)), jobs=0)
+            serial = deterministic_view(reg.snapshot())
+        with obs_metrics.use() as reg:
+            parallel_map(_counting, list(range(6)), jobs=3)
+            merged = deterministic_view(reg.snapshot())
+        assert serial == merged
+
+    def test_no_registry_means_no_telemetry(self):
+        from repro.obs import metrics as obs_metrics
+
+        assert obs_metrics.active() is None
+        assert parallel_map(_counting, [1, 2], jobs=2) == [1, 2]

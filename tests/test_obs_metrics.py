@@ -292,3 +292,69 @@ class TestDescribeAndFiles:
         path.write_text('{"schema": "other", "metrics": []}', encoding="utf-8")
         with pytest.raises(ValueError, match="schema"):
             load_snapshot_json(path)
+
+
+class TestFamilyValues:
+    def test_scalar_family_read(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", help="", op="hit").inc(3)
+        reg.counter("ops_total", help="", op="miss").inc(1)
+        values = {
+            labels["op"]: value for labels, value in reg.family_values("ops_total")
+        }
+        assert values == {"hit": 3.0, "miss": 1.0}
+
+    def test_unknown_family_is_empty(self):
+        assert MetricsRegistry().family_values("nope") == []
+
+    def test_histogram_family_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", help="").observe(1.0)
+        with pytest.raises(ValueError, match="histogram"):
+            reg.family_values("lat")
+
+
+class TestDerivedGauges:
+    def _cache_registry(self, hits=3, misses=1):
+        reg = MetricsRegistry()
+        reg.counter("solver_cache_ops_total", help="", op="hit").inc(hits)
+        reg.counter("solver_cache_ops_total", help="", op="miss").inc(misses)
+        return reg
+
+    def test_hit_ratio_derived_in_snapshot(self):
+        from repro.obs.export import with_derived
+
+        snap = with_derived(self._cache_registry().snapshot())
+        ratio = [
+            e for e in snap["metrics"] if e["name"] == "solver_cache_hit_ratio"
+        ]
+        assert ratio and ratio[0]["value"] == pytest.approx(0.75)
+        assert ratio[0]["type"] == "gauge"
+        # Entries stay sorted after the merge.
+        names = [(e["name"], tuple(sorted(e["labels"].items()))) for e in snap["metrics"]]
+        assert names == sorted(names)
+
+    def test_no_lookups_no_derived_entry(self):
+        from repro.obs.export import with_derived
+
+        reg = MetricsRegistry()
+        reg.counter("solver_cache_ops_total", help="", op="store").inc(2)
+        snap = with_derived(reg.snapshot())
+        assert not any(
+            e["name"] == "solver_cache_hit_ratio" for e in snap["metrics"]
+        )
+
+    def test_existing_gauge_not_overwritten(self):
+        from repro.obs.export import with_derived
+
+        reg = self._cache_registry()
+        reg.gauge("solver_cache_hit_ratio", help="").set(0.5)
+        snap = with_derived(reg.snapshot())
+        entries = [
+            e for e in snap["metrics"] if e["name"] == "solver_cache_hit_ratio"
+        ]
+        assert len(entries) == 1 and entries[0]["value"] == 0.5
+
+    def test_prometheus_export_includes_ratio(self):
+        samples = parse_prometheus(to_prometheus(self._cache_registry().snapshot()))
+        assert samples[("solver_cache_hit_ratio", ())] == pytest.approx(0.75)

@@ -1,0 +1,330 @@
+"""Unit tests for the streaming telemetry pipeline (repro.obs.telemetry)."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry as tel
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("ops_total", help="ops", op="solve").inc(3)
+    reg.gauge("depth", help="queue depth").set(2.0)
+    hist = reg.histogram("lat_seconds", help="latency")
+    for v in (0.001, 0.02, 1.5):
+        hist.observe(v)
+    return reg
+
+
+class TestTelemetrySink:
+    def test_flush_writes_schema_tagged_records(self, tmp_path):
+        reg = make_registry()
+        sink = tel.TelemetrySink(tmp_path, registry=reg, label="a")
+        assert sink.flush()
+        records = tel.read_sink(sink.path)
+        assert len(records) == 1
+        assert records[0]["schema"] == tel.TELEMETRY_SCHEMA
+        assert records[0]["kind"] == "full"
+        assert records[0]["sink"] == "a"
+        sink.close()
+
+    def test_delta_records_carry_only_changes(self, tmp_path):
+        reg = make_registry()
+        sink = tel.TelemetrySink(tmp_path, registry=reg, label="a", full_every=100)
+        sink.flush()
+        reg.counter("ops_total", op="solve").inc()
+        sink.flush()
+        records = tel.read_sink(sink.path)
+        assert records[1]["kind"] == "delta"
+        assert [e["name"] for e in records[1]["metrics"]] == ["ops_total"]
+        assert records[1]["metrics"][0]["value"] == 4  # absolute, not +1
+        sink.close()
+
+    def test_no_change_no_record(self, tmp_path):
+        sink = tel.TelemetrySink(tmp_path, registry=make_registry(), label="a")
+        assert sink.flush()
+        assert not sink.flush()  # nothing changed
+        assert len(tel.read_sink(sink.path)) == 1
+        sink.close()
+
+    def test_periodic_full_records(self, tmp_path):
+        reg = make_registry()
+        sink = tel.TelemetrySink(tmp_path, registry=reg, label="a", full_every=2)
+        for i in range(4):
+            reg.counter("ops_total", op="solve").inc()
+            sink.flush()
+        kinds = [r["kind"] for r in tel.read_sink(sink.path)]
+        assert kinds == ["full", "delta", "full", "delta"]
+        sink.close()
+
+    def test_min_interval_throttles_unforced_flushes(self, tmp_path):
+        reg = make_registry()
+        sink = tel.TelemetrySink(
+            tmp_path, registry=reg, label="a", min_interval_s=3600.0
+        )
+        assert sink.flush(force=False)
+        reg.counter("ops_total", op="solve").inc()
+        assert not sink.flush(force=False)  # inside the interval
+        assert sink.flush(force=True)
+        sink.close()
+
+    def test_sink_id_collision_gets_suffixed(self, tmp_path):
+        a = tel.TelemetrySink(tmp_path, registry=make_registry(), label="x")
+        b = tel.TelemetrySink(tmp_path, registry=make_registry(), label="x")
+        assert a.sink_id == "x" and b.sink_id == "x-1"
+        assert a.path != b.path
+        a.close(), b.close()
+
+    def test_uses_active_registry_when_none_given(self, tmp_path):
+        sink = tel.TelemetrySink(tmp_path, label="a")
+        assert not sink.flush()  # no registry active -> nothing to write
+        with obs_metrics.use() as reg:
+            reg.counter("c", help="").inc()
+            assert sink.flush()
+        sink.close()
+
+    def test_close_is_final_flush(self, tmp_path):
+        reg = make_registry()
+        sink = tel.TelemetrySink(tmp_path, registry=reg, label="a")
+        sink.flush()
+        reg.gauge("depth").set(9.0)
+        sink.close()
+        snap = tel.replay_sink(tel.read_sink(sink.path))
+        depth = [e for e in snap["metrics"] if e["name"] == "depth"][0]
+        assert depth["value"] == 9.0
+
+    def test_rejects_bad_full_every(self, tmp_path):
+        with pytest.raises(ValueError, match="full_every"):
+            tel.TelemetrySink(tmp_path, full_every=0)
+
+
+class TestReadReplay:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        reg = make_registry()
+        sink = tel.TelemetrySink(tmp_path, registry=reg, label="a")
+        sink.flush()
+        reg.counter("ops_total", op="solve").inc()
+        sink.flush()
+        sink.close()
+        text = sink.path.read_text()
+        sink.path.write_text(text[: len(text) - 20])  # crash mid-append
+        records = tel.read_sink(sink.path)
+        assert len(records) == 1  # only the complete record survives
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        path = tmp_path / "bad.telemetry.jsonl"
+        good = json.dumps(
+            {"schema": tel.TELEMETRY_SCHEMA, "sink": "a", "seq": 0,
+             "kind": "full", "metrics": []}
+        )
+        path.write_text("not json\n" + good + "\n")
+        with pytest.raises(ValueError, match="line 1"):
+            tel.read_sink(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "bad.telemetry.jsonl"
+        path.write_text(json.dumps({"schema": "other/v9", "seq": 0}) + "\n\n")
+        with pytest.raises(ValueError, match="schema"):
+            tel.read_sink(path)
+
+    def test_replay_reconstructs_final_snapshot(self, tmp_path):
+        reg = make_registry()
+        sink = tel.TelemetrySink(tmp_path, registry=reg, label="a", full_every=2)
+        for _ in range(5):
+            reg.counter("ops_total", op="solve").inc()
+            reg.histogram("lat_seconds").observe(0.25)
+            sink.flush()
+        sink.close()
+        assert tel.replay_sink(tel.read_sink(sink.path)) == reg.snapshot()
+
+
+class TestMerge:
+    def test_counters_sum_gauges_max_histograms_combine(self):
+        a, b = make_registry(), make_registry()
+        b.counter("ops_total", op="solve").inc(7)
+        b.gauge("depth").set(0.5)
+        merged = tel.merge_snapshots([a.snapshot(), b.snapshot()])
+        by_name = {e["name"]: e for e in merged["metrics"]}
+        assert by_name["ops_total"]["value"] == 3 + 10
+        assert by_name["depth"]["value"] == 2.0  # max, not last write
+        assert by_name["lat_seconds"]["count"] == 6
+        assert by_name["lat_seconds"]["sum"] == pytest.approx(2 * 1.521)
+        assert by_name["lat_seconds"]["min"] == 0.001
+        assert by_name["lat_seconds"]["max"] == 1.5
+
+    def test_merged_snapshot_round_trips_through_registry(self):
+        merged = tel.merge_snapshots(
+            [make_registry().snapshot(), make_registry().snapshot()]
+        )
+        assert merged["schema"] == METRICS_SCHEMA
+        from repro.obs.metrics import registry_from_snapshot
+
+        assert registry_from_snapshot(merged).snapshot() == merged
+
+    def test_kind_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("m", help="").inc()
+        b.gauge("m", help="").set(1)
+        with pytest.raises(ValueError, match="counter"):
+            tel.merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1)
+        b.histogram("h", buckets=(1.0, 3.0)).observe(1)
+        with pytest.raises(ValueError, match="bucket"):
+            tel.merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_snapshot_into_live_registry(self):
+        reg = make_registry()
+        tel.merge_snapshot_into(reg, make_registry().snapshot())
+        assert reg.counter("ops_total", op="solve").value == 6
+        assert reg.gauge("depth").value == 2.0
+        assert reg.histogram("lat_seconds").count == 6
+
+
+class TestAggregator:
+    def test_tails_incremental_appends(self, tmp_path):
+        reg = make_registry()
+        sink = tel.TelemetrySink(tmp_path, registry=reg, label="a")
+        sink.flush()
+        agg = tel.TelemetryAggregator(tmp_path)
+        assert agg.poll() == 1
+        reg.counter("ops_total", op="solve").inc(5)
+        sink.flush()
+        assert agg.poll() == 1  # only the new record
+        merged = agg.merged_snapshot()
+        ops = [e for e in merged["metrics"] if e["name"] == "ops_total"][0]
+        assert ops["value"] == 8
+        sink.close()
+
+    def test_partial_trailing_line_left_for_next_poll(self, tmp_path):
+        path = tmp_path / "a.telemetry.jsonl"
+        full = json.dumps(
+            {"schema": tel.TELEMETRY_SCHEMA, "sink": "a", "seq": 0,
+             "kind": "full", "metrics": []}
+        )
+        path.write_text(full + "\n" + full[:10])  # torn tail in flight
+        agg = tel.TelemetryAggregator(tmp_path)
+        assert agg.poll() == 1
+        with open(path, "a") as fh:  # writer completes the line (seq 1)
+            fh.write(full[10:].replace('"seq": 0', '"seq": 1') + "\n")
+        assert agg.poll() == 1
+
+    def test_duplicate_seq_is_noop(self, tmp_path):
+        record = {
+            "schema": tel.TELEMETRY_SCHEMA, "sink": "a", "seq": 0,
+            "kind": "full", "metrics": [],
+        }
+        agg = tel.TelemetryAggregator(tmp_path)
+        assert agg.ingest(dict(record))
+        assert not agg.ingest(dict(record))
+
+    def test_discovers_sinks_recursively(self, tmp_path):
+        sub = tmp_path / "shard-0"
+        tel.TelemetrySink(sub, registry=make_registry(), label="w").close()
+        agg = tel.TelemetryAggregator(tmp_path)
+        assert agg.poll() > 0
+        assert agg.sink_ids() == ["w"]
+
+    def test_merged_registry_round_trip(self, tmp_path):
+        tel.TelemetrySink(tmp_path, registry=make_registry(), label="a").close()
+        tel.TelemetrySink(tmp_path, registry=make_registry(), label="b").close()
+        agg = tel.TelemetryAggregator(tmp_path)
+        agg.poll()
+        assert agg.merged().snapshot() == agg.merged_snapshot()
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        agg = tel.TelemetryAggregator(tmp_path / "nope")
+        assert agg.poll() == 0
+        assert agg.merged_snapshot()["metrics"] == []
+
+
+class TestDeterministicView:
+    def test_drops_timing_fields_keeps_counts(self):
+        view = tel.deterministic_view(make_registry().snapshot())
+        by_name = {e["name"]: e for e in view["metrics"]}
+        assert "depth" not in by_name  # gauges dropped
+        assert by_name["ops_total"]["value"] == 3
+        assert by_name["lat_seconds"] == {
+            "name": "lat_seconds",
+            "type": "histogram",
+            "labels": {},
+            "count": 3,
+        }
+
+    def test_serial_equals_merged_parallel_shape(self):
+        # Two half-runs merged == one full run, in the deterministic view.
+        full = MetricsRegistry()
+        full.counter("steps_total", help="").inc(10)
+        h1, h2 = MetricsRegistry(), MetricsRegistry()
+        h1.counter("steps_total", help="").inc(4)
+        h2.counter("steps_total", help="").inc(6)
+        merged = tel.merge_snapshots([h1.snapshot(), h2.snapshot()])
+        assert tel.deterministic_view(merged) == tel.deterministic_view(
+            full.snapshot()
+        )
+
+
+class TestAmbientSink:
+    def test_attach_autoflush_detach(self, tmp_path):
+        with obs_metrics.use() as reg:
+            sink = tel.attach(tmp_path, min_interval_s=0.0)
+            reg.counter("c", help="").inc()
+            assert tel.autoflush()
+            assert tel.active_sink() is sink
+            assert tel.active_dir() == str(tmp_path)
+            tel.detach()
+        assert tel.active_sink() is None
+        assert not tel.autoflush()
+        snap = tel.replay_sink(tel.read_sink(sink.path))
+        assert snap["metrics"][0]["value"] == 1
+
+    def test_attach_replaces_previous_sink(self, tmp_path):
+        first = tel.attach(tmp_path / "a")
+        second = tel.attach(tmp_path / "b")
+        assert first._fh is None  # closed by the second attach
+        assert tel.active_sink() is second
+        tel.detach()
+
+    def test_forget_inherited_severs_without_flushing(self, tmp_path):
+        with obs_metrics.use() as reg:
+            reg.counter("c", help="").inc()
+            sink = tel.attach(tmp_path)
+            sink.flush()
+            before = sink.path.read_text()
+            reg.counter("c").inc()
+            tel.forget_inherited()
+            assert tel.active_sink() is None
+            assert sink.path.read_text() == before  # nothing appended
+
+
+class TestWatch:
+    def test_render_watch_shows_phases_counters_gauges(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "serve_phase_seconds", help="", phase="solve"
+        ).observe(0.01)
+        reg.counter("serve_slots_total", help="", path="primary").inc(3)
+        reg.gauge("health_competitive_ratio", help="").set(1.25)
+        text = tel.render_watch(reg.snapshot(), title="t")
+        assert "slots decided: 3" in text
+        assert "serve_phase_seconds{phase=solve}" in text
+        assert "health_competitive_ratio" in text and "1.25" in text
+
+    def test_render_watch_empty(self):
+        assert "(no telemetry yet)" in tel.render_watch(
+            MetricsRegistry().snapshot()
+        )
+
+    def test_watch_loop_renders_frames(self, tmp_path):
+        import io
+
+        tel.TelemetrySink(tmp_path, registry=make_registry(), label="a").close()
+        out = io.StringIO()
+        tel.watch(tmp_path, interval_s=0.0, iterations=2, out=out, clear=False)
+        assert out.getvalue().count("== telemetry") == 2
+        assert "1 sinks" in out.getvalue()

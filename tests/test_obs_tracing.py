@@ -150,3 +150,19 @@ class TestActiveSwitch:
             assert tracing.active() is outer
         finally:
             tracing.disable()
+
+
+class TestFlush:
+    def test_flush_makes_spans_readable_midstream(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path=path) as tracer:
+            with tracer.span("checkpointed"):
+                pass
+            tracer.flush()
+            # Visible to a tailing reader before close().
+            assert [r["name"] for r in read_trace(path)] == ["checkpointed"]
+
+    def test_flush_without_file_is_noop(self):
+        tracer = Tracer()
+        tracer.flush()  # must not raise
+        tracer.close()

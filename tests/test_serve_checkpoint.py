@@ -197,3 +197,44 @@ class TestKillAndResume:
         with np.load(path) as data:
             meta = json.loads(str(data["meta"]))
         assert meta["schema"] == CHECKPOINT_SCHEMA
+
+
+class TestCheckpointFlushesObservability:
+    def test_checkpoint_flushes_tracer_and_telemetry(self, instance, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import telemetry as obs_telemetry
+        from repro.obs import tracing as obs_tracing
+        from repro.obs.tracing import Tracer, read_trace
+
+        trace_path = tmp_path / "trace.jsonl"
+        tdir = tmp_path / "telemetry"
+        with obs_metrics.use():
+            obs_tracing.enable(Tracer(path=trace_path))
+            obs_telemetry.attach(tdir, min_interval_s=3600.0)
+            try:
+                ServeLoop(
+                    RegularizedOnline(EPS),
+                    instance,
+                    ServeConfig(
+                        checkpoint_path=tmp_path / "run.ckpt",
+                        checkpoint_every=1,
+                        max_slots=2,
+                    ),
+                ).run()
+                # Both streams are durable at the checkpoint barrier even
+                # though neither was closed and the sink's own flush
+                # cadence (1h) never came due.
+                assert len(read_trace(trace_path)) > 0
+                sink = obs_telemetry.active_sink()
+                snapshot = obs_telemetry.replay_sink(
+                    obs_telemetry.read_sink(sink.path)
+                )
+                slots = [
+                    e
+                    for e in snapshot["metrics"]
+                    if e["name"] == "serve_slots_total"
+                ]
+                assert sum(e["value"] for e in slots) == 2
+            finally:
+                obs_telemetry.detach()
+                obs_tracing.disable()
