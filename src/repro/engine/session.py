@@ -381,6 +381,17 @@ class SolveSession:
         """Per-step statistics for the steps taken so far."""
         return RunStats(list(self._step_stats))
 
+    @property
+    def step_stats(self) -> "list[StepStats]":
+        """The per-step statistics list itself (read-only use).
+
+        The sharded serve runtime reads the last entry after every
+        slot to ship the shard's solver work to the coordinator, which
+        folds the per-shard entries into the merged report's
+        ``run_stats``.
+        """
+        return list(self._step_stats)
+
     def trajectory(self) -> Any:
         """Assemble the steps taken so far into a trajectory.
 

@@ -564,7 +564,9 @@ def render_watch(snapshot: dict, title: str = "telemetry") -> str:
 
     Three sections: per-phase serve latency (count/mean/p95), the
     operational counters (slots by path, fallbacks, backend/cache
-    ops), and the ``health_*`` gauges.  Pure text — the watch loops
+    ops), and the ``health_*`` / ``shard_*`` gauges (shard liveness
+    when a sharded serve streams into the directory).  Pure text —
+    the watch loops
     repaint it with :data:`CLEAR_SCREEN`; tests render it once.
     """
     phases: "list[tuple]" = []
@@ -597,7 +599,7 @@ def render_watch(snapshot: dict, title: str = "telemetry") -> str:
             if name == "serve_slots_total":
                 slots += float(entry["value"])
             counters.append((name + _label_suffix(labels), f"{entry['value']:g}"))
-        elif entry["type"] == "gauge" and name.startswith("health_"):
+        elif entry["type"] == "gauge" and name.startswith(("health_", "shard_")):
             gauges.append((name + _label_suffix(labels), f"{entry['value']:.4g}"))
     parts = [f"== {title} ==  slots decided: {slots:g}"]
 

@@ -39,11 +39,15 @@ def save_checkpoint(
     *,
     controller_name: str = "",
     paths: "list[str] | None" = None,
+    extra: "dict | None" = None,
 ) -> Path:
     """Write a session snapshot (see ``SolveSession.export_state``).
 
     ``paths`` records which serve path ("primary"/"hold"/"greedy")
     produced each decision, so a resumed run's report is complete.
+    ``extra`` is an optional JSON-serializable side record (the
+    sharded runtime stores the shard index and its tier-1 assignment
+    here, so a resume can detect a changed partition layout).
     """
     path = Path(path)
     steps = snapshot.get("steps", [])
@@ -83,6 +87,7 @@ def save_checkpoint(
         "step_stats": [s.to_dict() for s in snapshot.get("step_stats", [])],
         "ctrl_scalars": ctrl_other,
         "ctrl_none": none_keys,
+        "extra": dict(extra or {}),
     }
 
     tmp = path.with_name(path.name + ".tmp")
@@ -96,8 +101,10 @@ def load_checkpoint(path: "str | Path") -> dict:
     """Load a checkpoint into an ``export_state``-shaped snapshot.
 
     Returns ``{"t", "steps", "step_stats", "controller", "paths",
-    "controller_name"}`` ready for
-    :meth:`~repro.engine.session.SolveSession.resume`.
+    "controller_name", "extra"}`` ready for
+    :meth:`~repro.engine.session.SolveSession.resume` (``extra`` is
+    the side record ``save_checkpoint`` was given, ``{}`` for
+    checkpoints written before it existed).
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
@@ -126,4 +133,5 @@ def load_checkpoint(path: "str | Path") -> dict:
         "controller": controller,
         "paths": list(meta["paths"]),
         "controller_name": meta["controller"],
+        "extra": dict(meta.get("extra", {})),
     }

@@ -152,6 +152,10 @@ class ServeConfig:
         call (``None`` = until the source is exhausted).
     hold_tol:
         Coverage tolerance of the hold fallback.
+    checkpoint_extra:
+        Optional JSON-serializable side record written into every
+        checkpoint's meta (the sharded runtime records the shard
+        index and tier-1 assignment here).
     """
 
     deadline_s: "float | None" = None
@@ -161,8 +165,16 @@ class ServeConfig:
     injector: "FaultInjector | None" = None
     max_slots: "int | None" = None
     hold_tol: float = 1e-7
+    checkpoint_extra: "dict | None" = None
 
     def __post_init__(self) -> None:
+        if self.deadline_s is not None and not (self.deadline_s > 0):
+            raise ValueError(
+                f"deadline_s must be > 0, got {self.deadline_s!r}: a "
+                "non-positive per-slot budget would fail every primary "
+                "solve before it starts.  Pass a positive --deadline-ms "
+                "(or omit it to disable deadline enforcement)."
+            )
         if self.enforce not in ("thread", "cooperative"):
             raise ValueError(
                 f"enforce must be 'thread' or 'cooperative', got {self.enforce!r}"
@@ -567,6 +579,7 @@ class ServeLoop:
             snapshot,
             controller_name=self.controller.name,
             paths=self.paths,
+            extra=cfg.checkpoint_extra,
         )
         self.log.emit(
             "checkpoint_written",

@@ -1,0 +1,62 @@
+"""Sharded multi-process serve runtime.
+
+Partitions the tier-1 edge clouds across worker shards — each running
+its own :class:`~repro.serve.runtime.ServeLoop` over an
+order-preserving sub-network — under a coordinator that merges the
+per-shard decisions into the global per-slot allocation, detects and
+restarts dead shards from their checkpoints, and aggregates the
+shard-labeled telemetry streams.  The merged output is byte-identical
+to the single-process run's (with or without injected shard kills);
+see docs/SERVING.md for the architecture and the parity guarantee.
+"""
+
+from repro.shard.coordinator import (
+    SHARD_CHECKPOINT_SCHEMA,
+    ShardedServeConfig,
+    ShardedServeLoop,
+    load_layout_checkpoint,
+    save_layout_checkpoint,
+)
+from repro.shard.partition import (
+    PARTITION_POLICIES,
+    ShardPlan,
+    SLAComponent,
+    component_weights,
+    historical_demand,
+    plan_partition,
+    sla_components,
+)
+from repro.shard.status import (
+    PARITY_EXCLUDED_PREFIXES,
+    parity_text,
+    parity_text_from_prometheus,
+    render_shard_status,
+    shard_parity_view,
+)
+from repro.shard.subnet import ShardSlotSource, ShardView
+from repro.shard.worker import KILL_EXIT_CODE, ShardPayload, run_shard_worker
+
+__all__ = [
+    "PARTITION_POLICIES",
+    "SLAComponent",
+    "ShardPlan",
+    "component_weights",
+    "historical_demand",
+    "plan_partition",
+    "sla_components",
+    "ShardView",
+    "ShardSlotSource",
+    "ShardedServeConfig",
+    "ShardedServeLoop",
+    "SHARD_CHECKPOINT_SCHEMA",
+    "save_layout_checkpoint",
+    "load_layout_checkpoint",
+    "ShardPayload",
+    "run_shard_worker",
+    "KILL_EXIT_CODE",
+    "PARITY_EXCLUDED_PREFIXES",
+    "shard_parity_view",
+    "parity_text",
+    "parity_text_from_prometheus",
+    "render_shard_status",
+]

@@ -1,0 +1,318 @@
+"""Deterministic partitioning of tier-1 edge clouds across shards.
+
+The sharded serve runtime (:mod:`repro.shard.coordinator`) gives each
+worker shard a sub-network and lets it solve its slots independently.
+For the merged decisions to equal the single-process run's, a shard
+boundary must never cut a coupling constraint — and in the two-tier
+model every coupling runs through the SLA bipartite graph: a tier-2
+cloud's capacity (and hedge) couples exactly the tier-1 clouds with an
+SLA edge to it.  The **connected components** of that graph are
+therefore the atomic placement unit: two tier-1 clouds in the same
+component must land on the same shard (component closure), while
+clouds in different components share no constraint at all.
+
+:func:`sla_components` computes the components (union-find);
+:func:`plan_partition` assigns whole components to shards under one of
+three policies:
+
+* ``round-robin`` — components in canonical order, dealt cyclically;
+* ``load-balanced`` — LPT greedy on component weight (historical mean
+  demand when available, tier-1 count otherwise);
+* ``affinity`` — components stay in canonical (region) order and the
+  shard boundaries are contiguous cuts, so neighbouring tier-2 regions
+  land on the same shard.
+
+All three are pure functions of their inputs — same network, same
+demand, same shard count always yields the same
+:class:`ShardPlan` (property-tested), so a restarted coordinator
+reconstructs the exact layout and resumed shards never see a different
+sub-network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.network import CloudNetwork
+
+#: The partitioning policies ``plan_partition`` accepts.
+PARTITION_POLICIES = ("round-robin", "load-balanced", "affinity")
+
+
+@dataclass(frozen=True)
+class SLAComponent:
+    """One connected component of the SLA bipartite graph.
+
+    ``tier1``/``tier2``/``edges`` are sorted global index tuples; the
+    canonical ordering key of a component is its smallest tier-2 index
+    (components partition the tier-2 clouds, so keys are unique).
+    """
+
+    tier1: "tuple[int, ...]"
+    tier2: "tuple[int, ...]"
+    edges: "tuple[int, ...]"
+
+    @property
+    def key(self) -> int:
+        return self.tier2[0]
+
+
+def sla_components(network: CloudNetwork) -> "list[SLAComponent]":
+    """Connected components of the bipartite (tier-2, tier-1) SLA graph.
+
+    Union-find over ``n_tier2 + n_tier1`` nodes with one union per SLA
+    edge; returned in canonical order (ascending smallest tier-2
+    index).  Every tier-1 cloud has at least one SLA edge (the network
+    constructor guarantees it), so the components cover both tiers.
+    """
+    n_i, n_j = network.n_tier2, network.n_tier1
+    parent = list(range(n_i + n_j))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for e in range(network.n_edges):
+        ra = find(int(network.edge_i[e]))
+        rb = find(n_i + int(network.edge_j[e]))
+        if ra != rb:
+            parent[rb] = ra
+
+    groups: "dict[int, dict]" = {}
+    for i in range(n_i):
+        groups.setdefault(find(i), {"tier1": [], "tier2": [], "edges": []})[
+            "tier2"
+        ].append(i)
+    for j in range(n_j):
+        groups.setdefault(find(n_i + j), {"tier1": [], "tier2": [], "edges": []})[
+            "tier1"
+        ].append(j)
+    for e in range(network.n_edges):
+        groups[find(int(network.edge_i[e]))]["edges"].append(e)
+
+    components = [
+        SLAComponent(
+            tier1=tuple(sorted(g["tier1"])),
+            tier2=tuple(sorted(g["tier2"])),
+            edges=tuple(sorted(g["edges"])),
+        )
+        for g in groups.values()
+        if g["tier2"]  # isolated tier-2 clouds still form components
+    ]
+    components.sort(key=lambda c: c.key)
+    return components
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Which tier-1 clouds each shard serves.
+
+    ``assignments[k]`` is shard ``k``'s sorted tuple of global tier-1
+    indices.  :meth:`validate` checks the cover is total and disjoint
+    and that every SLA component lands whole on one shard — the
+    invariant the bitwise-parity guarantee rests on.
+    """
+
+    n_shards: int
+    policy: str
+    assignments: "tuple[tuple[int, ...], ...]"
+
+    def __post_init__(self) -> None:
+        if self.n_shards != len(self.assignments):
+            raise ValueError(
+                f"plan has {len(self.assignments)} assignments for "
+                f"{self.n_shards} shards"
+            )
+
+    def shard_of(self, j: int) -> int:
+        """The shard serving global tier-1 cloud ``j``."""
+        for k, assignment in enumerate(self.assignments):
+            if j in assignment:
+                return k
+        raise KeyError(f"tier-1 cloud {j} is not assigned to any shard")
+
+    def validate(self, network: CloudNetwork) -> "ShardPlan":
+        """Check total/disjoint cover and component closure; return self."""
+        seen: "set[int]" = set()
+        for k, assignment in enumerate(self.assignments):
+            if not assignment:
+                raise ValueError(f"shard {k} has no tier-1 clouds assigned")
+            if list(assignment) != sorted(set(assignment)):
+                raise ValueError(
+                    f"shard {k} assignment must be sorted and unique: "
+                    f"{assignment}"
+                )
+            overlap = seen.intersection(assignment)
+            if overlap:
+                raise ValueError(
+                    f"tier-1 clouds {sorted(overlap)} assigned to more than "
+                    "one shard"
+                )
+            seen.update(assignment)
+        missing = set(range(network.n_tier1)) - seen
+        if missing:
+            raise ValueError(
+                f"tier-1 clouds {sorted(missing)} are not assigned to any shard"
+            )
+        extra = seen - set(range(network.n_tier1))
+        if extra:
+            raise ValueError(
+                f"assignment references unknown tier-1 indices {sorted(extra)}"
+            )
+        shard_of = {
+            j: k for k, assignment in enumerate(self.assignments) for j in assignment
+        }
+        for comp in sla_components(network):
+            owners = {shard_of[j] for j in comp.tier1}
+            if len(owners) > 1:
+                raise ValueError(
+                    f"SLA component around tier-2 clouds {list(comp.tier2)} "
+                    f"is split across shards {sorted(owners)}; components "
+                    "share tier-2/link capacity and must stay on one shard"
+                )
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "policy": self.policy,
+            "assignments": [list(a) for a in self.assignments],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ShardPlan":
+        return cls(
+            n_shards=int(payload["n_shards"]),
+            policy=str(payload["policy"]),
+            assignments=tuple(
+                tuple(int(j) for j in a) for a in payload["assignments"]
+            ),
+        )
+
+
+def component_weights(
+    components: "list[SLAComponent]",
+    demand: "np.ndarray | None" = None,
+) -> "list[float]":
+    """The balancing weight of each component.
+
+    With ``demand`` (per-tier-1 historical mean, e.g.
+    ``instance.workload.mean(axis=0)``) a component weighs the sum of
+    its clouds' demand; otherwise its tier-1 cloud count.  Weights
+    drive the ``load-balanced`` and ``affinity`` policies.
+    """
+    if demand is None:
+        return [float(len(c.tier1)) for c in components]
+    demand = np.asarray(demand, dtype=float)
+    return [float(sum(demand[j] for j in c.tier1)) for c in components]
+
+
+def plan_partition(
+    network: CloudNetwork,
+    n_shards: int,
+    policy: str = "round-robin",
+    demand: "np.ndarray | None" = None,
+) -> ShardPlan:
+    """Assign whole SLA components to ``n_shards`` shards.
+
+    Parameters
+    ----------
+    network:
+        The global topology.
+    n_shards:
+        Number of worker shards (>= 1).  Must not exceed the number of
+        SLA components — a component cannot be split without cutting a
+        shared tier-2/link capacity constraint.
+    policy:
+        One of :data:`PARTITION_POLICIES`.
+    demand:
+        Optional per-tier-1 historical mean demand (shape ``(J,)``)
+        used as the balancing weight; falls back to tier-1 counts.
+
+    Deterministic: a pure function of ``(network, n_shards, policy,
+    demand)`` with no RNG and no dict-order dependence.
+    """
+    if policy not in PARTITION_POLICIES:
+        raise ValueError(
+            f"unknown partition policy {policy!r}; "
+            f"expected one of {', '.join(PARTITION_POLICIES)}"
+        )
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    # Isolated tier-2 clouds (no SLA edge) form their own components
+    # but carry no tier-1 clouds and hence no work or coupling; they
+    # belong to no shard, exactly as they receive no allocation in the
+    # (edge-indexed) global solve.
+    components = [c for c in sla_components(network) if c.tier1]
+    if n_shards > len(components):
+        raise ValueError(
+            f"cannot run {n_shards} shards on a network with only "
+            f"{len(components)} SLA component(s): a component's tier-1 "
+            "clouds share tier-2/link capacity and must stay on one shard "
+            "(lower --shards, or widen the topology / lower --k so the "
+            "SLA graph splits into more components)"
+        )
+    weights = component_weights(components, demand)
+
+    by_shard: "list[list[SLAComponent]]" = [[] for _ in range(n_shards)]
+    if policy == "round-robin":
+        for idx, comp in enumerate(components):
+            by_shard[idx % n_shards].append(comp)
+    elif policy == "load-balanced":
+        # Longest-processing-time greedy: heaviest component first onto
+        # the lightest shard; ties broken by canonical order on both
+        # sides, so the plan is scheduling-free.
+        order = sorted(
+            range(len(components)), key=lambda i: (-weights[i], components[i].key)
+        )
+        loads = [0.0] * n_shards
+        for i in order:
+            k = min(range(n_shards), key=lambda s: (loads[s], s))
+            by_shard[k].append(components[i])
+            loads[k] += weights[i]
+    else:  # affinity: contiguous cuts in canonical (region) order
+        # Cut where the prefix weight crosses each k/n quantile, then
+        # clamp the cut indices so every shard keeps at least one
+        # component (possible because n_shards <= len(components)).
+        prefix = list(np.cumsum(weights))
+        total = prefix[-1] if prefix and prefix[-1] > 0 else float(len(components))
+        cuts = [0] * (n_shards + 1)
+        cuts[n_shards] = len(components)
+        for k in range(1, n_shards):
+            threshold = total * k / n_shards
+            cuts[k] = next(
+                (i + 1 for i, p in enumerate(prefix) if p >= threshold),
+                len(components),
+            )
+        for k in range(1, n_shards):
+            cuts[k] = max(cuts[k], cuts[k - 1] + 1)
+        for k in range(n_shards - 1, 0, -1):
+            cuts[k] = min(cuts[k], cuts[k + 1] - 1)
+        for k in range(n_shards):
+            by_shard[k] = list(components[cuts[k]:cuts[k + 1]])
+
+    assignments = tuple(
+        tuple(sorted(j for comp in comps for j in comp.tier1))
+        for comps in by_shard
+    )
+    return ShardPlan(
+        n_shards=n_shards, policy=policy, assignments=assignments
+    ).validate(network)
+
+
+def historical_demand(source) -> "np.ndarray | None":
+    """Per-tier-1 mean demand of a source, when it is known up front.
+
+    Instance-backed sources (CSV traces, in-memory instances) expose
+    the full workload matrix; live sources do not, and the
+    load-balanced policy then falls back to component sizes.
+    """
+    instance = getattr(source, "instance", None)
+    workload = getattr(instance, "workload", None)
+    if workload is None:
+        return None
+    return np.asarray(workload, dtype=float).mean(axis=0)

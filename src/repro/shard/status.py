@@ -1,0 +1,160 @@
+"""Shard status view and the sharded-vs-single parity projection.
+
+Two read-side surfaces over the shared telemetry directory a sharded
+serve streams into:
+
+* :func:`render_shard_status` — the ``repro shard status DIR`` table:
+  one row per shard sink with its liveness gauge, last completed slot,
+  heartbeat age and decided-slot counts, plus the global (unlabeled)
+  coordinator families.
+* :func:`shard_parity_view` / :func:`parity_text` — the projection
+  under which a sharded run's merged registry must be **byte-identical**
+  to the single-process run's.  The projection removes exactly two
+  things and is applied to *both* sides:
+
+  - entries carrying a ``shard`` label (per-shard bookkeeping — the
+    global equivalents are mirrored unlabeled by the coordinator);
+  - unlabeled families whose global shape legitimately differs under
+    sharding: ``engine_*``/``backend_*``/``subproblem_*`` (each shard
+    runs its own engine over a sub-network, so the single process's
+    unlabeled copies have no sharded counterpart),
+    ``solver_cache_*`` (per-sub-network cache keys) and ``shard_*``
+    (does not exist single-process).
+
+  Everything surviving — the ``serve_*`` slot/path/fallback/unserved
+  counters and the serve latency histogram *counts* — is a pure
+  function of the globally-served slots and must match exactly; CI's
+  shard-smoke job asserts it byte-for-byte on Prometheus exports.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs.metrics import METRICS_SCHEMA
+from repro.obs.telemetry import TelemetryAggregator, deterministic_view
+
+#: Unlabeled families excluded from the parity projection (see module
+#: docstring); matched by prefix on the metric name.
+PARITY_EXCLUDED_PREFIXES = (
+    "engine_",
+    "backend_",
+    "subproblem_",
+    "solver_cache_",
+    "shard_",
+)
+
+
+def shard_parity_view(snapshot: dict) -> dict:
+    """The projection of a snapshot that sharding must preserve.
+
+    Apply to both the single-process registry snapshot and the sharded
+    run's merged snapshot; the results must be equal (tests) and their
+    serializations byte-equal (CI).
+    """
+    view = deterministic_view(snapshot)
+    metrics = [
+        entry
+        for entry in view["metrics"]
+        if "shard" not in entry["labels"]
+        and not entry["name"].startswith(PARITY_EXCLUDED_PREFIXES)
+    ]
+    return {"schema": f"{METRICS_SCHEMA}#shard-parity", "metrics": metrics}
+
+
+def parity_text(snapshot: dict) -> str:
+    """Canonical byte-comparable serialization of the parity view."""
+    return json.dumps(shard_parity_view(snapshot), sort_keys=True) + "\n"
+
+
+def parity_text_from_prometheus(path: "str | Path") -> str:
+    """The parity serialization of an exported Prometheus text file.
+
+    Parses the export back into ``(name, labels) -> value`` samples,
+    drops the same families :func:`shard_parity_view` drops (plus the
+    wall-time-valued histogram series — only ``_count`` samples are
+    run-invariant), and renders the survivors one canonical line per
+    sample.  CI compares the outputs of the single-process and sharded
+    smoke runs byte-for-byte.
+    """
+    from repro.obs.export import parse_prometheus
+
+    samples = parse_prometheus(Path(path).read_text(encoding="utf-8"))
+    lines = []
+    for (name, labels), value in sorted(samples.items()):
+        labels = dict(labels)
+        # Keep only the run-invariant samples (mirrors deterministic_view):
+        # counter values (*_total) and histogram observation counts
+        # (*_count); gauges, sums and bucket series measure the machine.
+        if not name.endswith(("_total", "_count")):
+            continue
+        base = name[: -len("_count")] if name.endswith("_count") else name
+        if labels.pop("shard", None) is not None:
+            continue
+        if base.startswith(PARITY_EXCLUDED_PREFIXES):
+            continue
+        label_part = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        lines.append(f"{name}{{{label_part}}} {value:g}")
+    return "\n".join(lines) + "\n"
+
+
+def render_shard_status(directory: "str | Path", now: "float | None" = None) -> str:
+    """One-shot ``repro shard status`` table over a telemetry directory."""
+    aggregator = TelemetryAggregator(directory)
+    aggregator.poll()
+    now = time.time() if now is None else now
+    shard_rows: "list[tuple[str, str, str, str, str]]" = []
+    for sink_id in aggregator.sink_ids():
+        # Worker sinks are labeled shard-<k> (suffixed on restart); the
+        # coordinator's own ambient sink carries folded *copies* of the
+        # shard gauges and must not masquerade as a worker row.
+        if not sink_id.startswith("shard-"):
+            continue
+        snapshot = aggregator.sink_snapshot(sink_id)
+        up = slot = beat = None
+        slots = 0.0
+        for entry in snapshot["metrics"]:
+            name = entry["name"]
+            if name == "shard_up":
+                up = float(entry["value"])
+            elif name == "shard_slot":
+                slot = float(entry["value"])
+            elif name == "shard_heartbeat_time":
+                beat = float(entry["value"])
+            elif name == "serve_slots_total":
+                slots += float(entry["value"])
+        if up is None and slot is None and beat is None:
+            continue  # not a shard sink (coordinator, sweep worker, ...)
+        age = f"{max(now - beat, 0.0):.1f}s" if beat is not None else "?"
+        shard_rows.append(
+            (
+                sink_id,
+                "up" if up else "down",
+                f"{slot:g}" if slot is not None else "?",
+                age,
+                f"{slots:g}",
+            )
+        )
+    lines = [f"shard status: {directory} ({len(shard_rows)} shard sink(s))"]
+    if shard_rows:
+        headers = ("sink", "state", "last slot", "heartbeat age", "slots decided")
+        widths = [
+            max(len(h), *(len(r[c]) for r in shard_rows))
+            for c, h in enumerate(headers)
+        ]
+        fmt = lambda row: "  ".join(p.ljust(w) for p, w in zip(row, widths))
+        lines += [fmt(headers), fmt(tuple("-" * w for w in widths))]
+        lines += [fmt(row) for row in shard_rows]
+    else:
+        lines.append("(no shard sinks found)")
+    merged = aggregator.merged_snapshot()
+    restarts = sum(
+        float(e["value"])
+        for e in merged["metrics"]
+        if e["name"] == "shard_restarts_total"
+    )
+    if restarts:
+        lines.append(f"shard restarts: {restarts:g}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Shard views: order-preserving sub-networks and slot projection.
+
+A :class:`ShardView` restricts the global :class:`CloudNetwork` to the
+tier-1 clouds one shard serves (plus the tier-2 clouds and SLA edges
+they touch) while **preserving the global relative order** of clouds
+and edges.  Order preservation is what makes the restriction exact at
+the bit level: the solver's per-element weights, the greedy cover's
+iteration order, and the CSR aggregation's ascending-column summation
+all see the same sequence of floating-point operations on the shard as
+the corresponding slice of the single-process run, so a
+component-closed shard's decisions are bitwise equal to the global
+run's restriction (test-asserted; see docs/SERVING.md).
+
+:class:`ShardSlotSource` wraps any global :class:`SlotSource` and
+yields each slot projected onto the view — the worker's serve loop
+then runs completely unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.engine.session import SlotData
+from repro.model.allocation import Allocation
+from repro.model.network import CloudNetwork, SLAEdge
+
+
+class ShardView:
+    """One shard's restriction of the global network.
+
+    Attributes
+    ----------
+    tier1_idx, tier2_idx, edge_idx:
+        Sorted global index arrays of the clouds/edges this shard
+        owns.  Sorted means sub-network order equals global relative
+        order — the bitwise-restriction invariant.
+    network:
+        The sub-:class:`CloudNetwork` over those clouds/edges.
+    """
+
+    def __init__(self, global_network: CloudNetwork, tier1_indices) -> None:
+        tier1_idx = np.asarray(sorted(set(int(j) for j in tier1_indices)), dtype=np.intp)
+        if tier1_idx.size == 0:
+            raise ValueError("a shard view needs at least one tier-1 cloud")
+        if tier1_idx[0] < 0 or tier1_idx[-1] >= global_network.n_tier1:
+            raise ValueError(
+                f"tier-1 indices {tier1_idx.tolist()} out of range for "
+                f"{global_network!r}"
+            )
+        self.global_network = global_network
+        self.tier1_idx = tier1_idx
+        in_shard = np.zeros(global_network.n_tier1, dtype=bool)
+        in_shard[tier1_idx] = True
+        self.edge_idx = np.flatnonzero(in_shard[global_network.edge_j])
+        self.tier2_idx = np.unique(global_network.edge_i[self.edge_idx])
+
+        tier1_local = {int(j): lj for lj, j in enumerate(self.tier1_idx)}
+        tier2_local = {int(i): li for li, i in enumerate(self.tier2_idx)}
+        self.network = CloudNetwork(
+            tier2=[global_network.tier2_clouds[i] for i in self.tier2_idx],
+            tier1=[global_network.tier1_clouds[j] for j in self.tier1_idx],
+            edges=[
+                SLAEdge(
+                    tier2=tier2_local[int(global_network.edge_i[e])],
+                    tier1=tier1_local[int(global_network.edge_j[e])],
+                    capacity=float(global_network.edge_capacity[e]),
+                    recon_price=float(global_network.edge_recon_price[e]),
+                )
+                for e in self.edge_idx
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    def project(self, slot: SlotData) -> SlotData:
+        """Restrict one global slot's inputs to this shard."""
+        return SlotData(
+            slot.workload[self.tier1_idx],
+            slot.tier2_price[self.tier2_idx],
+            slot.link_price[self.edge_idx],
+        )
+
+    def lift_into(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        s: np.ndarray,
+        decision: Allocation,
+    ) -> None:
+        """Scatter a shard decision into global edge-space arrays."""
+        x[self.edge_idx] = decision.x
+        y[self.edge_idx] = decision.y
+        s[self.edge_idx] = decision.s
+
+    def restrict(self, decision: Allocation) -> Allocation:
+        """A global decision's slice on this shard's edges (tests)."""
+        return Allocation(
+            decision.x[self.edge_idx].copy(),
+            decision.y[self.edge_idx].copy(),
+            decision.s[self.edge_idx].copy(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardView(J={self.tier1_idx.tolist()}, "
+            f"|I|={len(self.tier2_idx)}, |E|={len(self.edge_idx)})"
+        )
+
+
+class ShardSlotSource:
+    """A global slot source projected onto one shard's view.
+
+    Satisfies the :class:`~repro.serve.sources.SlotSource` protocol;
+    deliberately does *not* expose ``.instance`` — the worker's
+    controller must build its state from the shard's sub-network, not
+    the global instance.
+    """
+
+    def __init__(self, base, view: ShardView) -> None:
+        self.base = base
+        self.view = view
+        self.network = view.network
+        self.horizon: "int | None" = base.horizon
+
+    def slots(self, start: int = 0) -> Iterator[SlotData]:
+        for slot in self.base.slots(start):
+            yield self.view.project(slot).validate(self.network)
+
+    def __repr__(self) -> str:
+        return f"ShardSlotSource({self.view!r}, base={self.base!r})"

@@ -1,0 +1,82 @@
+"""Property tests for shard partitioning (repro.shard.partition).
+
+The coordinator restores a killed run's layout from its checkpoint and
+*never* recomputes it — but the initial planning itself must also be
+deterministic, or two coordinators started from the same inputs (e.g. a
+re-run of a crashed launch before the first checkpoint) would hand
+their shards different sub-networks.  Property: ``plan_partition`` is a
+pure function of ``(network, n_shards, policy, demand)`` — repeated
+calls, including on a freshly rebuilt equal network, yield the exact
+same plan — and every plan it emits is a total, disjoint,
+component-closed cover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.model import Cloud, CloudNetwork, SLAEdge
+from repro.shard import PARTITION_POLICIES, ShardPlan, plan_partition, sla_components
+
+
+def build_network(component_fanouts: "list[int]") -> CloudNetwork:
+    """A star forest: component ``i`` has ``component_fanouts[i]`` tier-1
+    clouds on tier-2 cloud ``i`` (k=1, the shardable topology class)."""
+    n2 = len(component_fanouts)
+    tier2 = [Cloud(f"i{i}", 10.0 + i, 20.0) for i in range(n2)]
+    tier1, edges = [], []
+    for i, fanout in enumerate(component_fanouts):
+        for _ in range(fanout):
+            j = len(tier1)
+            tier1.append(Cloud(f"j{j}", np.inf))
+            edges.append(SLAEdge(i, j, 7.0, 12.0))
+    return CloudNetwork(tier2, tier1, edges)
+
+
+network_shapes = st.lists(st.integers(1, 4), min_size=2, max_size=8)
+policies = st.sampled_from(PARTITION_POLICIES)
+
+
+@given(
+    shape=network_shapes,
+    policy=policies,
+    n_shards=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+    with_demand=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_repartitioning_is_deterministic(shape, policy, n_shards, seed, with_demand):
+    n_shards = min(n_shards, len(shape))
+    network = build_network(shape)
+    demand = (
+        np.random.default_rng(seed).uniform(0.1, 5.0, size=network.n_tier1)
+        if with_demand
+        else None
+    )
+    first = plan_partition(network, n_shards, policy, demand=demand)
+    again = plan_partition(network, n_shards, policy, demand=demand)
+    rebuilt = plan_partition(build_network(shape), n_shards, policy, demand=demand)
+    assert first == again == rebuilt
+    # The persisted form (what the layout checkpoint stores) round-trips.
+    assert ShardPlan.from_json(first.to_json()) == first
+
+
+@given(
+    shape=network_shapes,
+    policy=policies,
+    n_shards=st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_plan_is_a_component_closed_cover(shape, policy, n_shards):
+    network = build_network(shape)
+    n_shards = min(n_shards, len(shape))
+    plan = plan_partition(network, n_shards, policy)
+    seen = [j for assignment in plan.assignments for j in assignment]
+    assert sorted(seen) == list(range(network.n_tier1))  # total + disjoint
+    assert all(plan.assignments)  # no idle shard
+    shard_of = {j: k for k, a in enumerate(plan.assignments) for j in a}
+    for comp in sla_components(network):
+        owners = {shard_of[j] for j in comp.tier1}
+        assert len(owners) == 1  # component closure
+    plan.validate(network)

@@ -88,6 +88,94 @@ class TestServeCommand:
         assert main(["replay", str(empty)]) == 1
         assert "no events" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("ms", ["0", "-250"])
+    def test_nonpositive_deadline_exits_2_naming_the_flag(
+        self, capsys, trace_csv, ms
+    ):
+        rc = main(
+            ["serve", "--trace", str(trace_csv), "--deadline-ms", ms, *self.SMALL]
+        )
+        assert rc == 2
+        assert "--deadline-ms" in capsys.readouterr().err
+
+
+class TestShardedServe:
+    # k=1 on 3x6 splits into 3 SLA components; the batched backend on
+    # this topology class is the bitwise-parity regime (docs/SERVING.md).
+    SHARDABLE = ["--n-tier2", "3", "--n-tier1", "6", "--k", "1",
+                 "--backend", "batched"]
+
+    def test_sharded_decisions_byte_equal_single_process(
+        self, capsys, trace_csv, tmp_path
+    ):
+        single = tmp_path / "single.npy"
+        sharded = tmp_path / "sharded.npy"
+        base = ["serve", "--trace", str(trace_csv), *self.SHARDABLE]
+        assert main([*base, "--decisions", str(single)]) == 0
+        rc = main(
+            [*base, "--shards", "3", "--kill-shard", "1:2",
+             "--decisions", str(sharded)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "8 slots (8 served, 0 unserved)" in out
+        assert single.read_bytes() == sharded.read_bytes()
+
+    def test_sharded_prometheus_parity_projection_byte_equal(
+        self, capsys, trace_csv, tmp_path
+    ):
+        from repro.shard import parity_text_from_prometheus
+
+        base = ["serve", "--trace", str(trace_csv), *self.SHARDABLE]
+        assert main([*base, "--metrics", str(tmp_path / "single.prom")]) == 0
+        assert main(
+            [*base, "--shards", "3", "--metrics", str(tmp_path / "sharded.prom")]
+        ) == 0
+        single = parity_text_from_prometheus(tmp_path / "single.prom")
+        sharded = parity_text_from_prometheus(tmp_path / "sharded.prom")
+        assert single == sharded
+        assert "serve_slots_total" in single
+
+    def test_serve_prints_shard_plan(self, capsys, trace_csv):
+        assert main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "2",
+             "--shards", "2", "--partition", "affinity", *self.SHARDABLE]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 shards (affinity)" in out
+        assert "0:[3, 5]" in out and "1:[0, 1, 2, 4]" in out
+
+    def test_too_many_shards_exits_2_with_guidance(self, capsys, trace_csv):
+        rc = main(
+            ["serve", "--trace", str(trace_csv), "--shards", "5", *self.SHARDABLE]
+        )
+        assert rc == 2
+        assert "SLA component" in capsys.readouterr().err
+
+    def test_malformed_kill_shard_exits_2(self, capsys, trace_csv):
+        rc = main(
+            ["serve", "--trace", str(trace_csv), "--shards", "2",
+             "--kill-shard", "nope", *self.SHARDABLE]
+        )
+        assert rc == 2
+        assert "--kill-shard" in capsys.readouterr().err
+
+    def test_shard_status_command(self, capsys, trace_csv, tmp_path):
+        tele = tmp_path / "tele"
+        assert main(
+            ["serve", "--trace", str(trace_csv), "--horizon", "4",
+             "--shards", "2", "--telemetry", str(tele), *self.SHARDABLE]
+        ) == 0
+        capsys.readouterr()
+        assert main(["shard", "status", str(tele)]) == 0
+        out = capsys.readouterr().out
+        assert "shard status" in out
+        assert "shard-0" in out and "shard-1" in out
+
+    def test_shard_status_missing_dir_fails(self, capsys, tmp_path):
+        assert main(["shard", "status", str(tmp_path / "nope")]) == 1
+        assert "telemetry" in capsys.readouterr().err
+
 
 class TestMetricsFlag:
     SMALL = TestServeCommand.SMALL

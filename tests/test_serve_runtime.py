@@ -195,6 +195,13 @@ class TestDeadline:
         with pytest.raises(ValueError, match="checkpoint_path"):
             ServeConfig(checkpoint_every=4)
 
+    @pytest.mark.parametrize("deadline", [0.0, -0.25])
+    def test_nonpositive_deadline_rejected_naming_the_flag(self, deadline):
+        # A zero/negative budget would fail every primary solve before
+        # it starts; the error must point at the CLI flag that set it.
+        with pytest.raises(ValueError, match=r"--deadline-ms"):
+            ServeConfig(deadline_s=deadline)
+
 
 class TestSourceErrors:
     class FlakySource:

@@ -1,0 +1,161 @@
+"""Tests for deterministic shard partitioning (repro.shard.partition)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import Cloud, CloudNetwork, SLAEdge
+from repro.shard import (
+    PARTITION_POLICIES,
+    ShardPlan,
+    component_weights,
+    plan_partition,
+    sla_components,
+)
+
+from conftest import make_network
+
+
+def star_forest(n_components: int = 4, fanout: int = 2) -> CloudNetwork:
+    """``n_components`` independent stars of ``fanout`` tier-1 clouds."""
+    tier2 = [Cloud(f"i{i}", 10.0, 20.0) for i in range(n_components)]
+    tier1 = [Cloud(f"j{j}", np.inf) for j in range(n_components * fanout)]
+    edges = [SLAEdge(j // fanout, j, 7.0, 12.0) for j in range(n_components * fanout)]
+    return CloudNetwork(tier2, tier1, edges)
+
+
+class TestSLAComponents:
+    def test_star_forest_splits_per_tier2(self):
+        net = star_forest(n_components=3, fanout=2)
+        comps = sla_components(net)
+        assert [c.tier2 for c in comps] == [(0,), (1,), (2,)]
+        assert [c.tier1 for c in comps] == [(0, 1), (2, 3), (4, 5)]
+        assert [c.edges for c in comps] == [(0, 1), (2, 3), (4, 5)]
+
+    def test_canonical_order_is_smallest_tier2_index(self):
+        comps = sla_components(star_forest(5, 1))
+        assert [c.key for c in comps] == sorted(c.key for c in comps)
+
+    def test_k2_ring_is_one_component(self):
+        net = make_network(n_tier2=4, n_tier1=6, k=2)
+        comps = sla_components(net)
+        assert len(comps) == 1
+        assert comps[0].tier1 == tuple(range(6))
+        assert comps[0].tier2 == tuple(range(4))
+
+    def test_isolated_tier2_cloud_forms_own_component(self):
+        tier2 = [Cloud("i0", 10.0, 20.0), Cloud("lonely", 10.0, 20.0)]
+        tier1 = [Cloud("j0", np.inf)]
+        net = CloudNetwork(tier2, tier1, [SLAEdge(0, 0, 7.0, 12.0)])
+        comps = sla_components(net)
+        assert len(comps) == 2
+        assert comps[1].tier2 == (1,) and comps[1].tier1 == ()
+
+
+class TestPlanPartition:
+    @pytest.mark.parametrize("policy", PARTITION_POLICIES)
+    def test_total_disjoint_cover_per_policy(self, policy):
+        net = star_forest(n_components=5, fanout=3)
+        for n_shards in (1, 2, 3, 5):
+            plan = plan_partition(net, n_shards, policy)
+            seen = [j for a in plan.assignments for j in a]
+            assert sorted(seen) == list(range(net.n_tier1))
+            assert len(seen) == len(set(seen))
+            plan.validate(net)  # component closure holds too
+
+    @pytest.mark.parametrize("policy", PARTITION_POLICIES)
+    def test_every_shard_gets_work(self, policy):
+        plan = plan_partition(star_forest(6, 2), 3, policy)
+        assert all(plan.assignments)
+
+    def test_round_robin_deals_components_cyclically(self):
+        plan = plan_partition(star_forest(4, 2), 2, "round-robin")
+        assert plan.assignments == ((0, 1, 4, 5), (2, 3, 6, 7))
+
+    def test_affinity_keeps_contiguous_regions(self):
+        plan = plan_partition(star_forest(4, 2), 2, "affinity")
+        assert plan.assignments == ((0, 1, 2, 3), (4, 5, 6, 7))
+
+    def test_load_balanced_balances_demand(self):
+        net = star_forest(3, 1)
+        # One hot cloud: LPT must isolate it on its own shard.
+        demand = np.array([10.0, 1.0, 1.0])
+        plan = plan_partition(net, 2, "load-balanced", demand=demand)
+        assert (0,) in plan.assignments
+        assert (1, 2) in plan.assignments
+
+    def test_more_shards_than_components_is_an_error(self):
+        with pytest.raises(ValueError, match="only 2 SLA component"):
+            plan_partition(star_forest(2, 2), 3)
+
+    def test_k2_coupled_network_cannot_shard(self):
+        net = make_network(n_tier2=4, n_tier1=6, k=2)
+        with pytest.raises(ValueError, match="SLA component"):
+            plan_partition(net, 2)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown partition policy"):
+            plan_partition(star_forest(), 2, "zigzag")
+
+    def test_nonpositive_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            plan_partition(star_forest(), 0)
+
+    def test_isolated_tier2_clouds_are_not_partitioned(self):
+        tier2 = [Cloud(f"i{i}", 10.0, 20.0) for i in range(3)]
+        tier1 = [Cloud("j0", np.inf), Cloud("j1", np.inf)]
+        # Tier-2 cloud 2 has no SLA edge: no work, belongs to no shard.
+        edges = [SLAEdge(0, 0, 7.0, 12.0), SLAEdge(1, 1, 7.0, 12.0)]
+        net = CloudNetwork(tier2, tier1, edges)
+        plan = plan_partition(net, 2)
+        assert plan.assignments == ((0,), (1,))
+
+
+class TestShardPlanValidate:
+    def test_overlapping_assignment_rejected(self):
+        net = star_forest(2, 1)
+        plan = ShardPlan(2, "round-robin", ((0,), (0, 1)))
+        with pytest.raises(ValueError, match="more than one shard"):
+            plan.validate(net)
+
+    def test_missing_cloud_rejected(self):
+        net = star_forest(3, 1)
+        plan = ShardPlan(2, "round-robin", ((0,), (1,)))
+        with pytest.raises(ValueError, match="not assigned"):
+            plan.validate(net)
+
+    def test_split_component_rejected(self):
+        net = star_forest(1, 2)  # one component with tier-1 clouds {0, 1}
+        plan = ShardPlan(2, "round-robin", ((0,), (1,)))
+        with pytest.raises(ValueError, match="split across shards"):
+            plan.validate(net)
+
+    def test_empty_shard_rejected(self):
+        net = star_forest(2, 1)
+        plan = ShardPlan(2, "round-robin", ((0, 1), ()))
+        with pytest.raises(ValueError, match="no tier-1 clouds"):
+            plan.validate(net)
+
+    def test_json_roundtrip(self):
+        plan = plan_partition(star_forest(4, 2), 2, "load-balanced")
+        assert ShardPlan.from_json(plan.to_json()) == plan
+
+    def test_shard_of(self):
+        plan = plan_partition(star_forest(4, 2), 2)
+        for k, assignment in enumerate(plan.assignments):
+            for j in assignment:
+                assert plan.shard_of(j) == k
+        with pytest.raises(KeyError):
+            plan.shard_of(99)
+
+
+class TestComponentWeights:
+    def test_defaults_to_tier1_counts(self):
+        comps = sla_components(star_forest(3, 2))
+        assert component_weights(comps) == [2.0, 2.0, 2.0]
+
+    def test_demand_weighted(self):
+        comps = sla_components(star_forest(2, 2))
+        weights = component_weights(comps, demand=np.array([1.0, 2.0, 3.0, 4.0]))
+        assert weights == [3.0, 7.0]

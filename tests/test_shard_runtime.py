@@ -1,0 +1,282 @@
+"""Tests for the sharded serve runtime (repro.shard.coordinator/worker).
+
+The load-bearing guarantee: a sharded run — including runs where a
+shard is killed and restarted from its checkpoint at *any* slot — is
+byte-identical to the single-process run in its merged decisions, its
+event stream (modulo shard attribution) and its merged metrics under
+the shard-parity projection.  The parity regime is the ``batched``
+backend on ``k=1`` topologies, where shard sub-networks are
+component-closed and order-preserving (see docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import runtime as cache_runtime
+from repro.core import RegularizedOnline, SubproblemConfig
+from repro.evaluation.reporting import render_serve_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry as obs_telemetry
+from repro.serve import EventLog, InstanceSource, ServeConfig, ServeLoop
+from repro.shard import (
+    ShardedServeConfig,
+    ShardedServeLoop,
+    load_layout_checkpoint,
+    parity_text,
+    render_shard_status,
+    shard_parity_view,
+)
+
+from conftest import make_instance, make_network
+
+HORIZON = 5
+
+
+def controller():
+    return RegularizedOnline(SubproblemConfig(epsilon=1e-2, backend="batched"))
+
+
+@pytest.fixture
+def instance():
+    # k=1 -> 3 SLA components (tier-2 cloud i serves tier-1 {i, i+3}),
+    # the topology class the bitwise-parity guarantee covers.
+    return make_instance(make_network(n_tier2=3, n_tier1=6, k=1), horizon=HORIZON)
+
+
+def single_run(instance, **cfg):
+    return ServeLoop(controller(), InstanceSource(instance), ServeConfig(**cfg)).run()
+
+
+def assert_reports_bitwise_equal(sharded, single):
+    assert sharded.error is None and single.error is None
+    assert sharded.paths == single.paths
+    assert np.array_equal(sharded.trajectory.x, single.trajectory.x)
+    assert np.array_equal(sharded.trajectory.y, single.trajectory.y)
+    assert np.array_equal(sharded.trajectory.s, single.trajectory.s)
+
+
+class TestShardedParity:
+    def test_merged_decisions_bitwise_equal_single_process(self, instance):
+        single = single_run(instance)
+        loop = ShardedServeLoop(
+            controller(), InstanceSource(instance), ShardedServeConfig(n_shards=3)
+        )
+        sharded = loop.run()
+        assert_reports_bitwise_equal(sharded, single)
+        assert sharded.summary["slots"] == HORIZON
+        assert sharded.summary["unserved"] == 0
+
+    @pytest.mark.parametrize("policy", ["round-robin", "load-balanced", "affinity"])
+    def test_parity_holds_under_every_policy(self, instance, policy):
+        single = single_run(instance)
+        sharded = ShardedServeLoop(
+            controller(),
+            InstanceSource(instance),
+            ShardedServeConfig(n_shards=2, partition=policy),
+        ).run()
+        assert_reports_bitwise_equal(sharded, single)
+
+    @pytest.mark.parametrize("kill_after", range(HORIZON - 1))
+    def test_kill_at_every_slot_index_resumes_bitwise(self, instance, kill_after):
+        """A shard killed after any slot restarts from checkpoint and the
+        run stays byte-identical — the tentpole's recovery guarantee."""
+        single = single_run(instance)
+        log = EventLog()
+        sharded = ShardedServeLoop(
+            controller(),
+            InstanceSource(instance),
+            ShardedServeConfig(
+                n_shards=3, kill_shard={1: kill_after}, heartbeat_timeout_s=30.0
+            ),
+            event_log=log,
+        ).run()
+        assert_reports_bitwise_equal(sharded, single)
+        kinds = [e["event"] for e in log.events]
+        assert "shard_down" in kinds and "shard_restart" in kinds
+
+    def test_event_stream_matches_single_modulo_shard_events(self, instance):
+        def decided(log):
+            return [
+                {k: e[k] for k in ("t", "path", "served", "deadline_missed")}
+                for e in log.events
+                if e["event"] == "slot_decided"
+            ]
+
+        single_log, sharded_log = EventLog(), EventLog()
+        ServeLoop(
+            controller(), InstanceSource(instance), ServeConfig(),
+            event_log=single_log,
+        ).run()
+        ShardedServeLoop(
+            controller(), InstanceSource(instance),
+            ShardedServeConfig(n_shards=3), event_log=sharded_log,
+        ).run()
+        assert decided(sharded_log) == decided(single_log)
+
+
+class TestShardedCheckpointResume:
+    def test_layout_checkpoint_resume_is_bitwise(self, instance, tmp_path):
+        ckpt = tmp_path / "layout.json"
+        single = single_run(instance)
+        cfg = ShardedServeConfig(
+            n_shards=3, checkpoint_path=ckpt, checkpoint_every=1, max_slots=2
+        )
+        first = ShardedServeLoop(
+            controller(), InstanceSource(instance), cfg
+        ).run()
+        assert len(first.paths) == 2
+        record = load_layout_checkpoint(ckpt)
+        assert record["t"] == 2
+        assert record["plan"]["n_shards"] == 3
+
+        loop = ShardedServeLoop.resume(
+            controller(), InstanceSource(instance), ckpt
+        )
+        assert loop.t == 2
+        resumed = loop.run()
+        assert_reports_bitwise_equal(resumed, single)
+
+    def test_resume_restores_plan_not_policy(self, instance, tmp_path):
+        ckpt = tmp_path / "layout.json"
+        cfg = ShardedServeConfig(
+            n_shards=2, partition="affinity", checkpoint_path=ckpt,
+            checkpoint_every=1, max_slots=1,
+        )
+        plan = ShardedServeLoop(
+            controller(), InstanceSource(instance), cfg
+        ).plan
+        ShardedServeLoop(controller(), InstanceSource(instance), cfg).run()
+        loop = ShardedServeLoop.resume(controller(), InstanceSource(instance), ckpt)
+        assert loop.plan == plan
+
+    def test_resume_rejects_changed_shard_count(self, instance, tmp_path):
+        ckpt = tmp_path / "layout.json"
+        ShardedServeLoop(
+            controller(),
+            InstanceSource(instance),
+            ShardedServeConfig(
+                n_shards=2, checkpoint_path=ckpt, checkpoint_every=1, max_slots=1
+            ),
+        ).run()
+        with pytest.raises(ValueError, match="shard count"):
+            ShardedServeLoop.resume(
+                controller(),
+                InstanceSource(instance),
+                ckpt,
+                config=ShardedServeConfig(n_shards=3, checkpoint_path=ckpt),
+            )
+
+
+class TestShardedConfigValidation:
+    def test_nonpositive_deadline_names_the_flag(self):
+        with pytest.raises(ValueError, match="--deadline-ms"):
+            ShardedServeConfig(deadline_s=0.0)
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(ValueError, match="partition"):
+            ShardedServeConfig(partition="zigzag")
+
+    def test_nonpositive_shards_rejected(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedServeConfig(n_shards=0)
+
+
+class TestShardedMetricsParity:
+    def run_with_registry(self, make_loop):
+        obs_metrics.enable()
+        try:
+            report = make_loop().run()
+            snapshot = obs_metrics.active().snapshot()
+        finally:
+            obs_metrics.disable()
+        assert report.error is None
+        return snapshot
+
+    def test_merged_registry_parity_view_matches_single(self, instance):
+        single = self.run_with_registry(
+            lambda: ServeLoop(controller(), InstanceSource(instance), ServeConfig())
+        )
+        sharded = self.run_with_registry(
+            lambda: ShardedServeLoop(
+                controller(),
+                InstanceSource(instance),
+                ShardedServeConfig(n_shards=3, kill_shard={2: 1}),
+            )
+        )
+        assert shard_parity_view(sharded) == shard_parity_view(single)
+        assert parity_text(sharded) == parity_text(single)
+
+    def test_shared_cache_ops_counted_exactly_once(self, instance, tmp_path):
+        """Concurrent shard writers on one --cache dir must not double
+        count ``solver_cache_ops_total`` in the merged registry."""
+        n_shards = 3
+        obs_metrics.enable()
+        try:
+            with cache_runtime.use(tmp_path / "cache"):
+                report = ShardedServeLoop(
+                    controller(),
+                    InstanceSource(instance),
+                    ShardedServeConfig(n_shards=n_shards),
+                ).run()
+            snapshot = obs_metrics.active().snapshot()
+        finally:
+            obs_metrics.disable()
+        assert report.error is None
+        ops: "dict[str, float]" = {}
+        for entry in snapshot["metrics"]:
+            if entry["name"] == "solver_cache_ops_total":
+                assert entry["labels"].get("shard") is not None
+                op = entry["labels"]["op"]
+                ops[op] = ops.get(op, 0.0) + entry["value"]
+        # Cold run: every shard solves each slot once -> one miss and
+        # one store per (shard, slot), nothing else.  A doubled fold
+        # would break these exact counts.
+        assert ops == {"miss": n_shards * HORIZON, "store": n_shards * HORIZON}
+
+
+class TestShardStatusAndReporting:
+    def test_status_table_lists_worker_sinks(self, instance, tmp_path):
+        tele = tmp_path / "tele"
+        # Mirror the CLI wiring: the parent registry streams to its own
+        # sink, so the folded restart counter is visible to status.
+        registry = obs_metrics.enable()
+        obs_telemetry.attach(tele, registry=registry, min_interval_s=0.0)
+        try:
+            ShardedServeLoop(
+                controller(),
+                InstanceSource(instance),
+                ShardedServeConfig(
+                    n_shards=3, telemetry_dir=tele, kill_shard={0: 1}
+                ),
+            ).run()
+        finally:
+            obs_telemetry.detach()
+            obs_metrics.disable()
+        text = render_shard_status(tele)
+        assert "shard status" in text
+        assert "shard-0" in text and "shard-2" in text
+        assert "shard restarts: 1" in text
+
+    def test_replay_renders_shard_layout(self, instance):
+        log = EventLog()
+        ShardedServeLoop(
+            controller(),
+            InstanceSource(instance),
+            ShardedServeConfig(n_shards=2),
+            event_log=log,
+        ).run()
+        start = next(e for e in log.events if e["event"] == "serve_start")
+        assert start["shards"] == 2
+        assert len(start["assignments"]) == 2
+        text = render_serve_events(log.events)
+        assert "shards" in text and "shard 0 tier-1 clouds" in text
+
+    def test_merged_step_stats_cover_every_slot(self, instance):
+        loop = ShardedServeLoop(
+            controller(), InstanceSource(instance), ShardedServeConfig(n_shards=2)
+        )
+        loop.run()
+        assert len(loop.step_stats) == HORIZON
+        assert all(s.wall_time > 0 for s in loop.step_stats)
