@@ -29,11 +29,19 @@ docs/SOLVER_BACKENDS.md), which is why the bench pins the sequential
 reference: sharding is the multi-process route to the identical
 decomposition.
 
+The suite runs two scenarios: the controlled ``sharded-serve`` star
+forest above, and ``geo-diurnal-full`` — the scenario corpus's
+continent-scale ``geo-diurnal`` topology at full size (24 regions x
+240 edge clouds, docs/SCENARIOS.md) sliced to a short horizon, with
+its golden ``scenario_fingerprint`` stamped into the record so the
+numbers name their exact generated data.
+
 The JSON is self-describing (``schema`` key).  Each shard count
 records median wall time over ``--repeats`` runs, slots/sec, and
 p50/p99 per-slot latency (wall-clock between merged-slot completions,
-pooled across repeats); the top level records ``speedup_2v1`` and
-``speedup_4v1`` — CI's perf-smoke job asserts ``speedup_4v1 >= 1.8``.
+pooled across repeats); each scenario records ``speedup_2v1`` and
+``speedup_4v1`` — CI's perf-smoke job asserts ``speedup_4v1 >= 1.8``
+on the star scenario and pins the geo fingerprint to the golden file.
 """
 
 from __future__ import annotations
@@ -76,14 +84,30 @@ def star_instance(n_tier2: int, fanout: int, horizon: int, seed: int = 7):
     return Instance(network, workload, tier2_price, link_price)
 
 
-def _controller(epsilon: float):
+def geo_instance(horizon: int):
+    """The scenario corpus's continent-scale topology, short horizon.
+
+    ``geo-diurnal`` at full size: 24 regions x 10 edge clouds (240
+    tier-1, one ``k=1`` SLA component per region) with time-zone-
+    shifted diurnal demand.  Returns ``(instance, fingerprint)`` — the
+    fingerprint ties the benchmark to the golden scenario snapshot.
+    """
+    from repro.scenarios import get_scenario
+
+    built = get_scenario("geo-diurnal").build("full")
+    return built.instance.slice(0, horizon), built.fingerprint()
+
+
+def _controller(epsilon: float, backend: str):
     from repro.core.online import RegularizedOnline
     from repro.core.subproblem import SubproblemConfig
 
-    return RegularizedOnline(SubproblemConfig(epsilon=epsilon, backend="sequential"))
+    return RegularizedOnline(SubproblemConfig(epsilon=epsilon, backend=backend))
 
 
-def _one_run(instance, shards: int, epsilon: float) -> "tuple[float, list[float]]":
+def _one_run(
+    instance, shards: int, epsilon: float, backend: str
+) -> "tuple[float, list[float]]":
     """Serve the instance once; return (total wall, per-slot latencies)."""
     from repro.serve.runtime import ServeConfig, ServeLoop
     from repro.serve.sources import InstanceSource
@@ -101,14 +125,14 @@ def _one_run(instance, shards: int, epsilon: float) -> "tuple[float, list[float]
     start = time.perf_counter()
     if shards == 1:
         loop = ServeLoop(
-            _controller(epsilon),
+            _controller(epsilon, backend),
             InstanceSource(instance),
             ServeConfig(),
             on_slot=on_slot,
         )
     else:
         loop = ShardedServeLoop(
-            _controller(epsilon),
+            _controller(epsilon, backend),
             InstanceSource(instance),
             ShardedServeConfig(n_shards=shards),
             on_slot=on_slot,
@@ -125,20 +149,22 @@ def _one_run(instance, shards: int, epsilon: float) -> "tuple[float, list[float]
 
 
 def bench_shards(
-    n_tier2: int,
-    fanout: int,
-    horizon: int,
+    instance,
+    name: str,
     shard_counts: "tuple[int, ...]",
     repeats: int,
     epsilon: float,
+    backend: str = "sequential",
+    extra: "dict | None" = None,
 ) -> dict:
     """Throughput/latency of the serve runtime at each shard count."""
-    instance = star_instance(n_tier2, fanout, horizon)
+    horizon = instance.horizon
+    net = instance.network
     by_shards: "dict[str, dict]" = {}
     for shards in shard_counts:
         walls, pooled = [], []
         for _ in range(repeats):
-            wall, latencies = _one_run(instance, shards, epsilon)
+            wall, latencies = _one_run(instance, shards, epsilon, backend)
             walls.append(wall)
             pooled.extend(latencies)
         wall = statistics.median(walls)
@@ -151,22 +177,23 @@ def bench_shards(
             "p99_ms": round(float(np.quantile(lat, 0.99)) * 1e3, 2),
         }
     record = {
-        "name": "sharded-serve",
+        "name": name,
         "kind": "serve",
         "algorithm": "RegularizedOnline",
-        "backend": "sequential",
+        "backend": backend,
         "partition": "round-robin",
         "scale": {
-            "n_tier2": n_tier2,
-            "n_tier1": n_tier2 * fanout,
-            "n_edges": n_tier2 * fanout,
-            "k": 1,
+            "n_tier2": net.n_tier2,
+            "n_tier1": net.n_tier1,
+            "n_edges": net.n_edges,
+            "k": net.n_edges // net.n_tier1,
             "horizon": horizon,
         },
         "epsilon": epsilon,
         "repeats": repeats,
         "by_shards": by_shards,
     }
+    record.update(extra or {})
     base = by_shards.get("1", {}).get("slots_per_sec")
     for shards in shard_counts:
         if shards == 1 or base is None:
@@ -178,16 +205,29 @@ def bench_shards(
 
 
 def run(repeats: int, smoke: bool) -> dict:
-    scenario = bench_shards(
-        n_tier2=16,
-        fanout=16,
-        horizon=4 if smoke else 8,
+    repeats = 1 if smoke else repeats
+    star = bench_shards(
+        star_instance(n_tier2=16, fanout=16, horizon=4 if smoke else 8),
+        name="sharded-serve",
         shard_counts=(1, 2, 4),
-        repeats=1 if smoke else repeats,
+        repeats=repeats,
         epsilon=1e-2,
     )
+    geo_inst, geo_fp = geo_instance(horizon=3 if smoke else 6)
+    geo = bench_shards(
+        geo_inst,
+        name="geo-diurnal-full",
+        shard_counts=(1, 2, 4),
+        repeats=repeats,
+        epsilon=1e-2,
+        extra={
+            "scenario": "geo-diurnal",
+            "scenario_size": "full",
+            "scenario_fingerprint": geo_fp,
+        },
+    )
     return {
-        "schema": "repro-bench-serve/v1",
+        "schema": "repro-bench-serve/v2",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "smoke": smoke,
         "platform": {
@@ -196,7 +236,7 @@ def run(repeats: int, smoke: bool) -> dict:
             "machine": platform.machine(),
             "cpus": _cpu_count(),
         },
-        "scenarios": [scenario],
+        "scenarios": [star, geo],
     }
 
 

@@ -314,6 +314,67 @@ def build_parser() -> argparse.ArgumentParser:
         "Prometheus text to PATH",
     )
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="list, describe or run the named workload scenarios "
+        "(deterministic continent-scale corpus; see docs/SCENARIOS.md)",
+    )
+    scenario.add_argument(
+        "action", choices=["list", "describe", "run"],
+        help="'list' the registry, 'describe' one scenario (details, "
+        "shapes, golden fingerprints), or 'run' it through evaluation "
+        "or the serve runtime",
+    )
+    scenario.add_argument(
+        "name", nargs="?", default=None,
+        help="scenario name (required for describe/run; see 'list')",
+    )
+    scenario.add_argument(
+        "--size", choices=["smoke", "full"], default="smoke",
+        help="size point: 'smoke' (tiny, seconds) or 'full' "
+        "(continent scale, hundreds of edge clouds)",
+    )
+    scenario.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's default seed (golden fingerprints "
+        "are pinned at the default)",
+    )
+    scenario.add_argument(
+        "--mode", choices=["eval", "serve"], default="eval",
+        help="'eval' scores the algorithm suite on the scenario; "
+        "'serve' streams it through the serve runtime",
+    )
+    scenario.add_argument(
+        "--horizon", type=int, default=None, metavar="T",
+        help="run only the first T slots of the built scenario",
+    )
+    scenario.add_argument(
+        "--epsilon", type=float, default=1e-2, help="regularization epsilon"
+    )
+    scenario.add_argument(
+        "--offline", action="store_true",
+        help="eval mode: include the offline optimum even at full size "
+        "(slow; smoke size includes it by default)",
+    )
+    scenario.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="serve mode: partition across N worker processes "
+        "(merged decisions byte-identical to --shards 1)",
+    )
+    scenario.add_argument(
+        "--partition", choices=["round-robin", "load-balanced", "affinity"],
+        default="round-robin", help="serve mode: shard partitioning policy",
+    )
+    scenario.add_argument(
+        "--decisions", default=None, metavar="PATH",
+        help="serve mode: write per-slot decisions as one .npy stack "
+        "(byte-comparable across --shards values)",
+    )
+    _add_backend_flag(scenario)
+    _add_metrics_flag(scenario)
+    _add_telemetry_flag(scenario)
+    _add_cache_flag(scenario)
+
     cache = sub.add_parser(
         "cache", help="inspect or clear a solver-state cache directory"
     )
@@ -334,6 +395,103 @@ def build_parser() -> argparse.ArgumentParser:
         "dir", help="telemetry directory the sharded serve streams into"
     )
     return parser
+
+
+def _cmd_scenario(args) -> int:
+    """``repro scenario list|describe|run [NAME]``."""
+    from repro import scenarios
+
+    if args.action == "list":
+        rows = [
+            (s.name, f"{s.tiers}-tier", "yes" if s.serveable else "no", s.summary)
+            for s in scenarios.all_scenarios()
+        ]
+        from repro.evaluation.reporting import format_table
+
+        print(format_table(["scenario", "model", "serveable", "summary"], rows))
+        return 0
+
+    if args.name is None:
+        print(f"scenario {args.action} requires a NAME; try 'scenario list'",
+              file=sys.stderr)
+        return 2
+    try:
+        scenario = scenarios.get_scenario(args.name)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.action == "describe":
+        built = scenario.build(args.size, args.seed)
+        print(f"{scenario.name}: {scenario.summary}")
+        print()
+        print(scenario.details)
+        print()
+        print(f"model:       {scenario.tiers}-tier"
+              + ("" if scenario.serveable else " (evaluation-only)"))
+        print(f"size:        {built.size} ({built.describe_shape()})")
+        print(f"seed:        {built.seed}"
+              + (" (default)" if args.seed is None else ""))
+        for note in built.notes:
+            print(f"note:        {note}")
+        print(f"fingerprint: {built.fingerprint()}")
+        return 0
+
+    # run
+    built = scenario.build(args.size, args.seed)
+    print(f"{built.name} [{built.size}, seed {built.seed}]: "
+          f"{built.describe_shape()}")
+    print(f"fingerprint: {built.fingerprint()}")
+    if args.mode == "eval":
+        rows = scenarios.evaluate(
+            built,
+            backend=args.backend,
+            epsilon=args.epsilon,
+            include_offline=True if args.offline else None,
+        )
+        print(scenarios.render_evaluation(rows))
+        return 0
+
+    # serve mode
+    if not scenario.serveable:
+        print(f"scenario {scenario.name!r} is evaluation-only "
+              "(N-tier model); use --mode eval", file=sys.stderr)
+        return 2
+    from repro.core import RegularizedOnline
+    from repro.core.subproblem import SubproblemConfig
+    from repro.serve import InstanceSource, ServeConfig, ServeLoop
+
+    instance = built.instance
+    if args.horizon is not None:
+        if not (1 <= args.horizon <= instance.horizon):
+            print(f"--horizon must be in [1, {instance.horizon}]",
+                  file=sys.stderr)
+            return 2
+        instance = instance.slice(0, args.horizon)
+    source = InstanceSource(instance)
+    controller = RegularizedOnline(
+        SubproblemConfig(epsilon=args.epsilon, backend=args.backend)
+    )
+    try:
+        if args.shards > 1:
+            from repro.shard import ShardedServeConfig, ShardedServeLoop
+
+            config = ShardedServeConfig(
+                n_shards=args.shards,
+                partition=args.partition,
+                telemetry_dir=args.telemetry,
+            )
+            report = ShardedServeLoop(controller, source, config).run()
+        else:
+            report = ServeLoop(controller, source, ServeConfig()).run()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.describe())
+    if args.decisions and report.trajectory is not None:
+        _write_decisions(args.decisions, report.trajectory)
+        print(f"decisions: {args.decisions}")
+    return 0 if report.summary["unserved"] == 0 and report.error is None else 1
 
 
 def _cmd_cache(args) -> int:
@@ -621,6 +779,8 @@ def _dispatch(args, parser: argparse.ArgumentParser) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "shard":
         return _cmd_shard(args)
     if args.command == "cache":

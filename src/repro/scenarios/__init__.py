@@ -1,0 +1,33 @@
+"""Named, deterministic workload scenarios on generated geo topologies.
+
+Importing this package registers the built-in corpus (six scenarios;
+see :mod:`repro.scenarios.catalog`).  Resolve names via
+:func:`get_scenario`, materialize with ``Scenario.build(size, seed)``,
+and pin determinism with ``BuiltScenario.fingerprint()`` — the golden
+suite (tests/test_scenarios_golden.py) asserts these digests never
+drift.  See docs/SCENARIOS.md.
+"""
+
+from repro.scenarios.base import (
+    SCENARIO_SIZES,
+    BuiltScenario,
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.scenarios import catalog  # noqa: F401  (registers the corpus)
+from repro.scenarios.run import evaluate, render_evaluation
+
+__all__ = [
+    "SCENARIO_SIZES",
+    "BuiltScenario",
+    "Scenario",
+    "all_scenarios",
+    "get_scenario",
+    "register",
+    "scenario_names",
+    "evaluate",
+    "render_evaluation",
+]

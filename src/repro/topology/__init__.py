@@ -3,13 +3,22 @@
 18 AT&T-era North-American data-center metros as tier-2 clouds, the 48
 continental US state capitals as tier-1 (edge) clouds, SLA subsets
 from geographic k-nearest-neighbour assignment, and the paper's
-capacity-provisioning rules (Section V-A).
+capacity-provisioning rules (Section V-A).  Beyond the paper's fixed
+site lists, :mod:`repro.topology.generate` grows seeded
+continent-scale topologies (hundreds of edge clouds) on the same
+substrates — the scenario corpus (:mod:`repro.scenarios`) builds on
+it.
 """
 
 from repro.topology.sites import ATT_SITES, STATE_CAPITALS, Site
 from repro.topology.geo import haversine_matrix, k_nearest
 from repro.topology.capacity import provision_capacities
 from repro.topology.builder import PaperTopologyBuilder, build_paper_instance
+from repro.topology.generate import (
+    GeneratedTopology,
+    GeoTopologyConfig,
+    generate_topology,
+)
 
 __all__ = [
     "Site",
@@ -20,4 +29,7 @@ __all__ = [
     "provision_capacities",
     "PaperTopologyBuilder",
     "build_paper_instance",
+    "GeneratedTopology",
+    "GeoTopologyConfig",
+    "generate_topology",
 ]

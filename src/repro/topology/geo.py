@@ -34,6 +34,11 @@ def k_nearest(distances: np.ndarray, k: int) -> np.ndarray:
     ``distances`` is ``(m, n)``; returns ``(m, k)`` integer indices.
     This is the paper's SLA rule: tier-1 cloud ``j`` may use its ``k``
     geographically closest tier-2 clouds.
+
+    Ties break deterministically by **ascending column index**: the
+    sort is a stable argsort, so among equidistant columns the one
+    with the smallest index wins.  Generated topologies and golden
+    scenario fingerprints rely on this rule — keep it stable.
     """
     distances = np.asarray(distances, dtype=float)
     n = distances.shape[1]

@@ -1,5 +1,6 @@
-"""Shared utilities: RNG handling, validation helpers, timing."""
+"""Shared utilities: RNG handling, validation helpers, timing, digests."""
 
+from repro.util.digest import array_digest
 from repro.util.rng import as_generator, spawn_generators
 from repro.util.validation import (
     check_finite,
@@ -10,6 +11,7 @@ from repro.util.validation import (
 from repro.util.timing import Timer
 
 __all__ = [
+    "array_digest",
     "as_generator",
     "spawn_generators",
     "check_finite",

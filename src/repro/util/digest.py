@@ -1,0 +1,44 @@
+"""Canonical SHA-256 digests of named array collections.
+
+The scenario corpus pins *golden fingerprints*: a scenario built from
+the same (name, size, seed) must hash to the same hex digest on every
+machine and every run.  :func:`array_digest` therefore fixes every
+degree of freedom that could leak into the hash — array order (the
+caller passes an ordered sequence), dtype (floats canonicalized to
+little-endian float64, integers to little-endian int64), memory layout
+(C-contiguous) and shape (hashed alongside the bytes, so ``(2, 3)``
+and ``(3, 2)`` of the same data differ).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+
+def array_digest(items: "Iterable[tuple[str, np.ndarray]]") -> str:
+    """SHA-256 hex digest of an ordered sequence of named arrays.
+
+    Each item is ``(name, array)``; the name, canonical dtype, shape
+    and raw bytes all enter the hash.  Float arrays are cast to
+    ``<f8`` and integer/bool arrays to ``<i8``; other dtypes are
+    rejected (the corpus is numeric).
+    """
+    h = hashlib.sha256()
+    for name, array in items:
+        a = np.ascontiguousarray(np.asarray(array))
+        if a.dtype.kind == "f":
+            a = a.astype("<f8", copy=False)
+        elif a.dtype.kind in "iub":
+            a = a.astype("<i8")
+        else:
+            raise TypeError(
+                f"array {name!r} has unhashable dtype {a.dtype} "
+                "(only float/int/bool arrays are fingerprinted)"
+            )
+        h.update(name.encode("utf-8"))
+        h.update(repr(a.shape).encode("ascii"))
+        h.update(a.tobytes())
+    return h.hexdigest()

@@ -1,0 +1,72 @@
+"""End-to-end: a named scenario through ``serve --shards 2``.
+
+The acceptance path for the scenario corpus: ``flash-crowd`` streamed
+through the sharded serve runtime must produce decisions byte-identical
+to the single-process run — at the API level (reusing the parity
+helpers from ``test_shard_runtime``) and through the CLI's
+``scenario run --mode serve --decisions`` file output (the same check
+CI's scenario-smoke job performs with ``cmp``).
+"""
+
+from __future__ import annotations
+
+import filecmp
+
+import pytest
+
+from repro.scenarios import get_scenario
+from repro.serve import InstanceSource, ServeConfig, ServeLoop
+from repro.shard import ShardedServeConfig, ShardedServeLoop
+
+# Parity helpers from the sharded-runtime suite (tests/ is on sys.path).
+from test_shard_runtime import assert_reports_bitwise_equal, controller
+
+
+@pytest.fixture(scope="module")
+def scenario_instance():
+    built = get_scenario("flash-crowd").build("smoke")
+    # Keep the e2e run quick: the cascade is fully underway by hour 12.
+    return built.instance.slice(0, 12)
+
+
+def test_scenario_through_two_shards_is_bitwise_identical(scenario_instance):
+    single = ServeLoop(
+        controller(), InstanceSource(scenario_instance), ServeConfig()
+    ).run()
+    sharded = ShardedServeLoop(
+        controller(),
+        InstanceSource(scenario_instance),
+        ShardedServeConfig(n_shards=2),
+    ).run()
+    assert_reports_bitwise_equal(sharded, single)
+    assert sharded.summary["slots"] == scenario_instance.horizon
+    assert sharded.summary["unserved"] == 0
+
+
+def test_scenario_parity_survives_a_shard_kill(scenario_instance):
+    single = ServeLoop(
+        controller(), InstanceSource(scenario_instance), ServeConfig()
+    ).run()
+    sharded = ShardedServeLoop(
+        controller(),
+        InstanceSource(scenario_instance),
+        ShardedServeConfig(
+            n_shards=2, kill_shard={1: 3}, heartbeat_timeout_s=30.0
+        ),
+    ).run()
+    assert_reports_bitwise_equal(sharded, single)
+
+
+def test_cli_decisions_files_byte_identical_across_shards(tmp_path, capsys):
+    from repro.cli import main
+
+    d1, d2 = tmp_path / "d1.npy", tmp_path / "d2.npy"
+    base = [
+        "scenario", "run", "flash-crowd", "--mode", "serve",
+        "--horizon", "6", "--backend", "batched",
+    ]
+    assert main([*base, "--decisions", str(d1)]) == 0
+    assert main([*base, "--shards", "2", "--decisions", str(d2)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("6 slots (6 served, 0 unserved)") == 2
+    assert filecmp.cmp(d1, d2, shallow=False)

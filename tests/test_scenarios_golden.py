@@ -1,0 +1,68 @@
+"""Golden-snapshot suite: scenario fingerprints must never drift.
+
+Each registered scenario's SHA-256 fingerprint (placement + workload +
+prices + capacities, canonically hashed by
+:func:`repro.util.digest.array_digest`) is pinned in
+``tests/golden/scenario_fingerprints.json`` at the default seed, for
+both size points.  A mismatch means generated experiment inputs
+changed — either an intentional generator change (regenerate the file
+and say so in the PR) or an accidental drift (a real regression; every
+recorded experiment and benchmark built on the corpus is now on
+different data).
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.scenarios import all_scenarios
+    golden = {s.name: {z: s.build(z).fingerprint() for z in ("smoke", "full")}
+              for s in all_scenarios()}
+    with open("tests/golden/scenario_fingerprints.json", "w") as fh:
+        json.dump(golden, fh, indent=2, sort_keys=True); fh.write("\n")
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import SCENARIO_SIZES, all_scenarios, scenario_names
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "scenario_fingerprints.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def test_every_registered_scenario_is_pinned():
+    assert set(GOLDEN) == set(scenario_names())
+    for name, sizes in GOLDEN.items():
+        assert set(sizes) == set(SCENARIO_SIZES), name
+
+
+@pytest.mark.parametrize(
+    "scenario", all_scenarios(), ids=lambda s: s.name
+)
+@pytest.mark.parametrize("size", SCENARIO_SIZES)
+def test_fingerprint_matches_golden(scenario, size):
+    built = scenario.build(size)
+    assert built.fingerprint() == GOLDEN[scenario.name][size], (
+        f"{scenario.name}/{size} fingerprint drifted from the golden "
+        "snapshot; see this module's docstring before regenerating"
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario", all_scenarios(), ids=lambda s: s.name
+)
+def test_seed_changes_the_fingerprint(scenario):
+    """The seed actually flows into the generated data (no dead knob)."""
+    default = scenario.build("smoke").fingerprint()
+    other = scenario.build("smoke", seed=scenario.default_seed + 7919)
+    assert other.fingerprint() != default
+
+
+def test_smoke_and_full_differ():
+    for scenario in all_scenarios():
+        assert GOLDEN[scenario.name]["smoke"] != GOLDEN[scenario.name]["full"]

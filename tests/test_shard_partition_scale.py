@@ -1,0 +1,104 @@
+"""Shard partitioning at scale: hundreds of SLA components.
+
+The seed suite exercises the partitioner on hand-built networks with a
+handful of components; the generated geo topologies push it to the
+fleet shapes the ROADMAP targets — here 256 single-region components —
+and check every policy still produces total, disjoint,
+component-closed covers, plus that ``shard status`` renders the fleet
+of a scenario-driven sharded run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard.partition import (
+    PARTITION_POLICIES,
+    plan_partition,
+    sla_components,
+)
+from repro.topology.generate import GeoTopologyConfig, generate_topology
+
+N_REGIONS = 256
+
+
+@pytest.fixture(scope="module")
+def big_network():
+    topo = generate_topology(
+        GeoTopologyConfig(
+            n_regions=N_REGIONS, pops_per_region=1, tier1_per_region=1,
+            k=1, seed=3,
+        )
+    )
+    rng = np.random.default_rng(4)
+    workload = 1.0 + rng.random((3, topo.n_tier1))
+    return topo.build_instance(workload).network
+
+
+def test_generated_fleet_has_hundreds_of_components(big_network):
+    components = [c for c in sla_components(big_network) if c.tier1]
+    assert len(components) == N_REGIONS
+    assert all(len(c.tier1) == 1 and len(c.tier2) == 1 for c in components)
+
+
+@pytest.mark.parametrize("policy", PARTITION_POLICIES)
+@pytest.mark.parametrize("n_shards", [2, 16, 100, N_REGIONS])
+def test_every_policy_covers_the_fleet(big_network, policy, n_shards):
+    """Total / disjoint / component-closed, validated by ShardPlan."""
+    plan = plan_partition(big_network, n_shards, policy=policy)
+    plan.validate(big_network)  # raises on any cover violation
+    assigned = sorted(j for shard in plan.assignments for j in shard)
+    assert assigned == list(range(big_network.n_tier1))
+    assert len(plan.assignments) == n_shards
+    assert all(len(shard) > 0 for shard in plan.assignments)
+
+
+@pytest.mark.parametrize("policy", PARTITION_POLICIES)
+def test_policies_are_deterministic(big_network, policy):
+    a = plan_partition(big_network, 16, policy=policy)
+    b = plan_partition(big_network, 16, policy=policy)
+    assert a.assignments == b.assignments
+
+
+def test_load_balanced_evens_out_demand(big_network):
+    rng = np.random.default_rng(9)
+    demand = rng.random(big_network.n_tier1) * 100.0
+    plan = plan_partition(
+        big_network, 8, policy="load-balanced", demand=demand
+    )
+    plan.validate(big_network)
+    loads = [sum(demand[j] for j in shard) for shard in plan.assignments]
+    # LPT on 256 ~uniform items over 8 bins lands well within 2x.
+    assert max(loads) <= 2.0 * min(loads)
+
+
+def test_shard_status_renders_scenario_fleet(tmp_path):
+    """A sharded serve over a generated-topology scenario streams
+    telemetry that ``shard status`` renders as a fleet table."""
+    from repro.core import RegularizedOnline, SubproblemConfig
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import telemetry as obs_telemetry
+    from repro.scenarios import get_scenario
+    from repro.serve import InstanceSource
+    from repro.shard import ShardedServeConfig, ShardedServeLoop, render_shard_status
+
+    built = get_scenario("geo-diurnal").build("smoke")
+    instance = built.instance.slice(0, 3)
+    tele = tmp_path / "tele"
+    registry = obs_metrics.enable()
+    obs_telemetry.attach(tele, registry=registry, min_interval_s=0.0)
+    try:
+        report = ShardedServeLoop(
+            RegularizedOnline(SubproblemConfig(epsilon=1e-2, backend="batched")),
+            InstanceSource(instance),
+            ShardedServeConfig(n_shards=4, telemetry_dir=tele),
+        ).run()
+    finally:
+        obs_telemetry.detach()
+        obs_metrics.disable()
+    assert report.error is None and report.summary["unserved"] == 0
+    text = render_shard_status(tele)
+    assert "shard status" in text
+    for shard in range(4):
+        assert f"shard-{shard}" in text

@@ -64,6 +64,19 @@ class TestGeo:
         with pytest.raises(ValueError):
             k_nearest(d, 4)
 
+    def test_k_nearest_breaks_ties_by_column_index(self):
+        """Equidistant columns resolve to the smallest index (stable
+        argsort) — generated topologies and golden scenario
+        fingerprints depend on this exact rule."""
+        d = np.array([[2.0, 1.0, 1.0, 2.0]])
+        np.testing.assert_array_equal(k_nearest(d, 2)[0], [1, 2])
+        np.testing.assert_array_equal(k_nearest(d, 4)[0], [1, 2, 0, 3])
+        # All-equal rows enumerate columns in index order.
+        flat = np.zeros((3, 5))
+        np.testing.assert_array_equal(
+            k_nearest(flat, 5), np.tile(np.arange(5), (3, 1))
+        )
+
 
 class TestCapacityProvisioning:
     def test_k1_rule(self):
